@@ -1,0 +1,78 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace dmrpc::bench {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  DMRPC_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title_.c_str());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string Table::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::Int(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+BenchEnv BenchEnv::FromEnv() {
+  BenchEnv env;
+  if (const char* s = std::getenv("DMRPC_BENCH_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0.0) env.scale = v;
+  }
+  return env;
+}
+
+std::string Summarize(const msvc::WorkloadResult& res) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%.0f rps, %.2f Gbps, lat mean=%s p99=%s p999=%s",
+                res.throughput_rps(), res.throughput_gbps(),
+                FormatDuration(res.latency.mean()).c_str(),
+                FormatDuration(res.latency.p99()).c_str(),
+                FormatDuration(res.latency.p999()).c_str());
+  return buf;
+}
+
+}  // namespace dmrpc::bench

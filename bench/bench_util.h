@@ -1,0 +1,54 @@
+#ifndef DMRPC_BENCH_BENCH_UTIL_H_
+#define DMRPC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::bench {
+
+/// Aligned-column table printer: each bench binary prints the rows/series
+/// of the paper figure it regenerates in this format, so EXPERIMENTS.md
+/// can quote them directly.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 1);
+  static std::string Int(uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Global knobs for bench runs, read from the environment:
+///   DMRPC_BENCH_SCALE: multiplies measurement windows (default 1.0;
+///     use 0.2 for a quick smoke run, 5 for tighter confidence).
+struct BenchEnv {
+  double scale = 1.0;
+
+  static BenchEnv FromEnv();
+
+  TimeNs Warmup(TimeNs base) const {
+    return static_cast<TimeNs>(base * scale);
+  }
+  TimeNs Measure(TimeNs base) const {
+    return static_cast<TimeNs>(base * scale);
+  }
+};
+
+/// Standard one-line summary of a workload result.
+std::string Summarize(const msvc::WorkloadResult& res);
+
+}  // namespace dmrpc::bench
+
+#endif  // DMRPC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Reproduces Fig. 5 (paper §VI-B): throughput and average latency of a
+// nested RPC chain, 4 KiB argument, single client thread, as the number
+// of nested calls grows from 1 to 7, for eRPC / DmRPC-net / DmRPC-CXL.
+//
+// Expected shape: eRPC throughput decays ~1/chain-length because the
+// argument crosses the wire at every hop; DmRPC-net and DmRPC-CXL stay
+// nearly flat (only the Ref is forwarded) with DmRPC-CXL on top.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "apps/nested_chain.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::bench {
+namespace {
+
+constexpr uint32_t kArgBytes = 4096;
+
+std::map<std::pair<int, int>, msvc::WorkloadResult>& Cache() {
+  static auto* cache =
+      new std::map<std::pair<int, int>, msvc::WorkloadResult>();
+  return *cache;
+}
+
+const msvc::WorkloadResult& RunChain(msvc::Backend backend, int chain_len) {
+  auto key = std::make_pair(static_cast<int>(backend), chain_len);
+  auto it = Cache().find(key);
+  if (it != Cache().end()) return it->second;
+
+  BenchEnv env = BenchEnv::FromEnv();
+  sim::Simulation sim(7);
+  msvc::ClusterConfig cfg;
+  cfg.backend = backend;
+  cfg.num_nodes = 10;
+  cfg.dm_frames = 1u << 15;
+  msvc::Cluster cluster(&sim, cfg);
+  apps::NestedChainApp app(&cluster, chain_len, {1, 2, 3, 4, 5, 6, 7});
+  msvc::ServiceEndpoint* client = cluster.AddService("client", 0, 1000);
+  Status st = msvc::RunToCompletion(&sim, cluster.InitAll());
+  if (!st.ok()) LOG_FATAL << "init: " << st.ToString();
+  // One client thread with a full session-slot window (8 outstanding).
+  msvc::WorkloadResult res = msvc::RunClosedLoop(
+      &sim, app.MakeRequestFn(client, kArgBytes),
+      /*workers=*/8, env.Warmup(20 * kMillisecond),
+      env.Measure(250 * kMillisecond));
+  return Cache().emplace(key, std::move(res)).first->second;
+}
+
+void BM_NestedChain(benchmark::State& state) {
+  auto backend = static_cast<msvc::Backend>(state.range(0));
+  int chain_len = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const msvc::WorkloadResult& res = RunChain(backend, chain_len);
+    state.counters["krps"] = res.throughput_rps() / 1000.0;
+    state.counters["avg_lat_us"] =
+        static_cast<double>(res.latency.mean()) / kMicrosecond;
+    state.counters["p99_us"] =
+        static_cast<double>(res.latency.p99()) / kMicrosecond;
+  }
+  state.SetLabel(msvc::BackendName(backend));
+}
+
+void RegisterAll() {
+  for (msvc::Backend backend :
+       {msvc::Backend::kErpc, msvc::Backend::kDmNet, msvc::Backend::kDmCxl}) {
+    for (int chain = 1; chain <= 7; ++chain) {
+      benchmark::RegisterBenchmark("fig05/nested_rpc", BM_NestedChain)
+          ->Args({static_cast<int64_t>(backend), chain})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintPaperTables() {
+  Table tput("Fig 5a: nested RPC throughput (krps), 4KB arg, 1 thread",
+             {"chain", "eRPC", "DmRPC-net", "DmRPC-CXL"});
+  Table lat("Fig 5b: nested RPC average latency (us)",
+            {"chain", "eRPC", "DmRPC-net", "DmRPC-CXL"});
+  for (int chain = 1; chain <= 7; ++chain) {
+    const msvc::WorkloadResult& erpc = RunChain(msvc::Backend::kErpc, chain);
+    const msvc::WorkloadResult& net = RunChain(msvc::Backend::kDmNet, chain);
+    const msvc::WorkloadResult& cxl = RunChain(msvc::Backend::kDmCxl, chain);
+    tput.AddRow({Table::Int(chain), Table::Num(erpc.throughput_rps() / 1e3),
+                 Table::Num(net.throughput_rps() / 1e3),
+                 Table::Num(cxl.throughput_rps() / 1e3)});
+    lat.AddRow({Table::Int(chain), Table::Num(erpc.latency.mean() / 1e3),
+                Table::Num(net.latency.mean() / 1e3),
+                Table::Num(cxl.latency.mean() / 1e3)});
+  }
+  tput.Print();
+  lat.Print();
+}
+
+}  // namespace
+}  // namespace dmrpc::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dmrpc::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dmrpc::bench::PrintPaperTables();
+  return 0;
+}

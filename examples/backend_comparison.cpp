@@ -1,0 +1,59 @@
+// Side-by-side comparison of the three backends on the nested-RPC-call
+// workload (paper §VI-B): the same application code runs unchanged on
+// eRPC (pass-by-value), DmRPC-net, and DmRPC-CXL, differing only in the
+// ClusterConfig. Shows why pass-by-reference wins on deep call chains.
+//
+//   $ ./examples/backend_comparison [arg_bytes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/nested_chain.h"
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+using namespace dmrpc;        // NOLINT: example brevity
+using namespace dmrpc::msvc;  // NOLINT
+
+namespace {
+
+WorkloadResult RunOne(Backend backend, int chain_len, uint32_t arg_bytes) {
+  sim::Simulation sim(5);
+  ClusterConfig cfg;
+  cfg.backend = backend;
+  cfg.num_nodes = 10;
+  cfg.dm_frames = 1u << 15;
+  Cluster cluster(&sim, cfg);
+  apps::NestedChainApp app(&cluster, chain_len, {1, 2, 3, 4, 5, 6, 7});
+  ServiceEndpoint* client = cluster.AddService("client", 0, 1000);
+  Status st = msvc::RunToCompletion(&sim, cluster.InitAll());
+  if (!st.ok()) {
+    std::printf("init failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return msvc::RunClosedLoop(&sim, app.MakeRequestFn(client, arg_bytes),
+                             /*workers=*/1, 20 * kMillisecond,
+                             200 * kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t arg_bytes = argc > 1 ? std::atoi(argv[1]) : 4096;
+  std::printf("Nested RPC chain, %u-byte argument, single client thread\n\n",
+              arg_bytes);
+  std::printf("%-12s %8s %12s %12s %12s\n", "backend", "chain", "req/s",
+              "mean-lat", "p99-lat");
+  for (Backend backend :
+       {Backend::kErpc, Backend::kDmNet, Backend::kDmCxl}) {
+    for (int chain : {1, 3, 5, 7}) {
+      WorkloadResult res = RunOne(backend, chain, arg_bytes);
+      std::printf("%-12s %8d %12.0f %12s %12s\n", BackendName(backend),
+                  chain, res.throughput_rps(),
+                  FormatDuration(res.latency.mean()).c_str(),
+                  FormatDuration(res.latency.p99()).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#ifndef DMRPC_APPS_IMAGE_PIPELINE_H_
+#define DMRPC_APPS_IMAGE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::apps {
+
+/// Knobs of the cloud image processing application (§VI-E, Fig. 9).
+struct ImagePipelineConfig {
+  /// Instances of the Image-processing tier the LB spreads over.
+  int num_imgproc = 2;
+  /// Worker threads in each transcoding/compressing service.
+  int codec_threads = 4;
+  /// CPU cost of transcoding / compressing one KiB of image data.
+  double transcode_ns_per_kb = 1500.0;
+  double compress_ns_per_kb = 1000.0;
+  /// Firewall permission check and imgproc request parsing CPU.
+  TimeNs firewall_ns = 200;
+  TimeNs parse_ns = 300;
+};
+
+/// The synthetic 7-tier Cloud Image Processing application:
+///   Client -> Firewall -> Load balance -> Image processing (xN)
+///          -> { Transcoding | Compressing } -> result back to Client.
+///
+/// The firewall authenticates using only the small request header; the
+/// LB forwards round-robin; Image processing parses the request and
+/// routes to the codec tier; the codec touches every byte and produces a
+/// new output image, which travels back down the chain (as a Ref under
+/// DmRPC, as full bytes under eRPC).
+class ImagePipelineApp {
+ public:
+  static constexpr rpc::ReqType kFirewallReq = 30;
+  static constexpr rpc::ReqType kLbReq = 31;
+  static constexpr rpc::ReqType kProcReq = 32;
+  static constexpr rpc::ReqType kTranscodeReq = 33;
+  static constexpr rpc::ReqType kCompressReq = 34;
+
+  /// Operation requested by the client.
+  enum class Op : uint8_t { kTranscode = 0, kCompress = 1 };
+
+  ImagePipelineApp(msvc::Cluster* cluster,
+                   const std::vector<net::NodeId>& service_nodes,
+                   ImagePipelineConfig cfg = ImagePipelineConfig());
+
+  /// One end-to-end request: sends an `image_bytes` image with alternate
+  /// transcode/compress ops, validates the transformed result.
+  sim::Task<StatusOr<uint64_t>> DoRequest(msvc::ServiceEndpoint* client,
+                                          uint32_t image_bytes);
+
+  msvc::RequestFn MakeRequestFn(msvc::ServiceEndpoint* client,
+                                uint32_t image_bytes);
+
+ private:
+  void InstallFirewall(msvc::ServiceEndpoint* ep);
+  void InstallLb(msvc::ServiceEndpoint* ep);
+  void InstallImgProc(msvc::ServiceEndpoint* ep);
+  void InstallCodec(msvc::ServiceEndpoint* ep, bool transcode);
+
+  msvc::Cluster* cluster_;
+  ImagePipelineConfig cfg_;
+  std::vector<std::string> imgproc_names_;
+  size_t lb_rr_ = 0;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace dmrpc::apps
+
+#endif  // DMRPC_APPS_IMAGE_PIPELINE_H_

@@ -1,0 +1,100 @@
+#include "apps/load_balancer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/payload.h"
+
+namespace dmrpc::apps {
+
+using core::Payload;
+using msvc::ServiceEndpoint;
+using rpc::MsgBuffer;
+using rpc::ReqContext;
+
+LoadBalancerApp::LoadBalancerApp(msvc::Cluster* cluster, net::NodeId lb_node,
+                                 const std::vector<net::NodeId>& worker_nodes)
+    : cluster_(cluster) {
+  DMRPC_CHECK(!worker_nodes.empty());
+  lb_ = cluster->AddService("lb", lb_node, 9100, /*worker_threads=*/1);
+  for (size_t i = 0; i < worker_nodes.size(); ++i) {
+    std::string name = "lbworker" + std::to_string(i);
+    ServiceEndpoint* w = cluster->AddService(
+        name, worker_nodes[i], static_cast<net::Port>(9101 + i), 1);
+    workers_.push_back(name);
+    worker_load_.push_back(0);
+    w->RegisterHandler(
+        kWorkReq,
+        [w](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
+          // The worker consumes the request: materialize the argument
+          // (final consumer) and acknowledge.
+          Payload payload = Payload::DecodeFrom(&req);
+          MsgBuffer resp;
+          auto data = co_await w->dmrpc()->Fetch(payload);
+          if (!data.ok()) {
+            resp.Append<uint8_t>(1);
+            co_return resp;
+          }
+          co_await w->ComputeBytes(data->size(), /*ns_per_kb=*/200.0);
+          w->Detach(w->dmrpc()->Release(payload));
+          resp.Append<uint8_t>(0);
+          resp.Append<uint64_t>(data->size());
+          co_return resp;
+        });
+  }
+
+  lb_->RegisterHandler(
+      kLbReq, [this](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
+        // Pick the least-loaded worker (round-robin among ties); forward
+        // the opaque request bytes without parsing the argument (the LB
+        // never touches the data).
+        co_await lb_->Compute(120);  // balancing decision
+        co_await lb_->ForwardCost(req.size());
+        size_t pick = rr_start_ % worker_load_.size();
+        for (size_t k = 0; k < worker_load_.size(); ++k) {
+          size_t i = (rr_start_ + k) % worker_load_.size();
+          if (worker_load_[i] < worker_load_[pick]) pick = i;
+        }
+        rr_start_++;
+        worker_load_[pick]++;
+        auto resp =
+            co_await lb_->CallService(workers_[pick], kWorkReq, std::move(req));
+        worker_load_[pick]--;
+        if (!resp.ok()) {
+          MsgBuffer err;
+          err.Append<uint8_t>(1);
+          co_return err;
+        }
+        co_await lb_->ForwardCost(resp->size());
+        co_return std::move(*resp);
+      });
+}
+
+sim::Task<StatusOr<uint64_t>> LoadBalancerApp::DoRequest(
+    ServiceEndpoint* client, uint32_t arg_bytes) {
+  std::vector<uint8_t> data(arg_bytes, 0x5c);
+  auto payload = co_await client->dmrpc()->MakePayload(data);
+  if (!payload.ok()) co_return payload.status();
+  MsgBuffer req;
+  payload->EncodeTo(&req);
+  auto resp = co_await client->CallService("lb", kLbReq, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  if (resp->Read<uint8_t>() != 0) {
+    co_return Status::Internal("worker reported failure");
+  }
+  uint64_t seen = resp->Read<uint64_t>();
+  if (seen != arg_bytes) {
+    co_return Status::Internal("worker saw wrong payload size");
+  }
+  co_return static_cast<uint64_t>(arg_bytes);
+}
+
+msvc::RequestFn LoadBalancerApp::MakeRequestFn(ServiceEndpoint* client,
+                                               uint32_t arg_bytes) {
+  return [this, client, arg_bytes]() -> sim::Task<StatusOr<uint64_t>> {
+    return DoRequest(client, arg_bytes);
+  };
+}
+
+}  // namespace dmrpc::apps

@@ -1,0 +1,49 @@
+#ifndef DMRPC_APPS_LOAD_BALANCER_H_
+#define DMRPC_APPS_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::apps {
+
+/// The application-layer load balancer of §VI-B (Fig. 6): clients on
+/// three hosts send requests with arguments to one LB service, which
+/// forwards each request -- without touching the argument -- to the
+/// least-loaded of three worker services on three other hosts. The
+/// quantity of interest is the LB host's memory bandwidth, which
+/// pass-by-reference nearly eliminates.
+class LoadBalancerApp {
+ public:
+  static constexpr rpc::ReqType kLbReq = 20;
+  static constexpr rpc::ReqType kWorkReq = 21;
+
+  LoadBalancerApp(msvc::Cluster* cluster, net::NodeId lb_node,
+                  const std::vector<net::NodeId>& worker_nodes);
+
+  /// One request from a client endpoint: `arg_bytes` payload to the LB;
+  /// the chosen worker acknowledges after a minimal touch-free handoff.
+  sim::Task<StatusOr<uint64_t>> DoRequest(msvc::ServiceEndpoint* client,
+                                          uint32_t arg_bytes);
+
+  msvc::RequestFn MakeRequestFn(msvc::ServiceEndpoint* client,
+                                uint32_t arg_bytes);
+
+  msvc::ServiceEndpoint* lb() { return lb_; }
+
+ private:
+  msvc::Cluster* cluster_;
+  msvc::ServiceEndpoint* lb_;
+  std::vector<std::string> workers_;
+  /// Outstanding requests per worker; the LB picks the least loaded.
+  std::vector<int> worker_load_;
+  /// Rotates the starting index so ties round-robin.
+  size_t rr_start_ = 0;
+};
+
+}  // namespace dmrpc::apps
+
+#endif  // DMRPC_APPS_LOAD_BALANCER_H_

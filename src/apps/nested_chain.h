@@ -1,0 +1,51 @@
+#ifndef DMRPC_APPS_NESTED_CHAIN_H_
+#define DMRPC_APPS_NESTED_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::apps {
+
+/// The nested-RPC-calls application of §VI-B: a client calls an RPC with
+/// an array argument; each microservice in the chain forwards the
+/// argument to the next without touching it; the final microservice
+/// aggregates the array and returns the sum.
+///
+/// With eRPC the array bytes cross the network at every hop; with DmRPC
+/// only the Ref does, and the tail service pulls the data once from DM.
+class NestedChainApp {
+ public:
+  static constexpr rpc::ReqType kChainReq = 10;
+
+  /// Deploys `chain_len` single-threaded services, one per host,
+  /// round-robin over `service_nodes`. Service i is named "chain<i>".
+  NestedChainApp(msvc::Cluster* cluster, int chain_len,
+                 const std::vector<net::NodeId>& service_nodes);
+
+  /// Client-side request: builds an `arg_bytes` payload, calls chain0,
+  /// verifies the returned checksum. Returns payload bytes on success.
+  sim::Task<StatusOr<uint64_t>> DoRequest(msvc::ServiceEndpoint* client,
+                                          uint32_t arg_bytes);
+
+  /// Workload functor bound to a client endpoint.
+  msvc::RequestFn MakeRequestFn(msvc::ServiceEndpoint* client,
+                                uint32_t arg_bytes);
+
+  int chain_len() const { return chain_len_; }
+
+ private:
+  void InstallForwarder(msvc::ServiceEndpoint* ep, const std::string& next);
+  void InstallAggregator(msvc::ServiceEndpoint* ep);
+
+  msvc::Cluster* cluster_;
+  int chain_len_;
+  uint64_t next_fill_ = 1;  // varies payload contents per request
+};
+
+}  // namespace dmrpc::apps
+
+#endif  // DMRPC_APPS_NESTED_CHAIN_H_

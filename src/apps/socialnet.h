@@ -1,0 +1,126 @@
+#ifndef DMRPC_APPS_SOCIALNET_H_
+#define DMRPC_APPS_SOCIALNET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/payload.h"
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::apps {
+
+/// Knobs of the social-network application.
+struct SocialNetConfig {
+  /// Users in the simulated network.
+  uint32_t num_users = 100;
+  /// Followers notified per composed post.
+  uint32_t followers_per_user = 8;
+  /// Media bytes attached to a post.
+  uint32_t media_bytes = 8192;
+  /// Posts returned by a timeline read.
+  uint32_t timeline_posts = 5;
+  /// Post-storage retains this many posts before evicting (and releasing
+  /// the evicted post's Ref).
+  uint32_t max_stored_posts = 4096;
+  /// Workload mix (must sum to 1): the paper's 60/30/10 split.
+  double read_home_fraction = 0.6;
+  double read_user_fraction = 0.3;
+  /// Popularity skew for timeline reads: "most users read the posts
+  /// composed by a few users" (§VI-F). 0 = uniform; ~0.99 matches
+  /// social-network access patterns.
+  double read_zipf_skew = 0.99;
+};
+
+/// DeathStarBench-style social network (§VI-F, Fig. 11), built as a
+/// microservice graph where every request traverses at least three data
+/// mover services (load balancer, proxy, php-fpm front tier) and
+/// read-user-timeline traverses five (adding the API router and the
+/// user-timeline service in mover roles):
+///
+///   compose-post:      lb -> proxy -> php -> compose
+///                         -> {unique-id, social-graph} (metadata)
+///                         -> post-storage (media payload)
+///                         -> {user-timeline, home-timeline} (index update)
+///   read-home-timeline lb -> proxy -> php -> home-timeline -> post-storage
+///   read-user-timeline lb -> proxy -> php -> router -> user-timeline
+///                         -> post-storage
+///
+/// Under DmRPC the media payload is a Ref end to end: stored posts keep
+/// the Ref alive in post-storage and readers map/fetch on demand; under
+/// eRPC every hop moves the full media bytes.
+class SocialNetApp {
+ public:
+  static constexpr rpc::ReqType kLb = 40;
+  static constexpr rpc::ReqType kProxy = 41;
+  static constexpr rpc::ReqType kPhp = 42;
+  static constexpr rpc::ReqType kCompose = 43;
+  static constexpr rpc::ReqType kHomeTimeline = 44;
+  static constexpr rpc::ReqType kUserTimeline = 45;
+  static constexpr rpc::ReqType kRouter = 46;
+  static constexpr rpc::ReqType kStorePost = 47;
+  static constexpr rpc::ReqType kGetPosts = 48;
+  static constexpr rpc::ReqType kUniqueId = 49;
+  static constexpr rpc::ReqType kSocialGraph = 50;
+  static constexpr rpc::ReqType kUpdateTimeline = 51;
+
+  /// Kind of end-to-end request.
+  enum class ReqKind : uint8_t {
+    kComposePost = 0,
+    kReadHome = 1,
+    kReadUser = 2,
+  };
+
+  /// Deploys the service graph over `nodes` (the paper uses 3 servers).
+  SocialNetApp(msvc::Cluster* cluster, const std::vector<net::NodeId>& nodes,
+               SocialNetConfig cfg = SocialNetConfig());
+
+  /// One request of the mixed workload (60% read-home, 30% read-user,
+  /// 10% compose), drawn with the app's own deterministic RNG.
+  sim::Task<StatusOr<uint64_t>> DoMixedRequest(msvc::ServiceEndpoint* client);
+
+  /// One request of a specific kind (tests).
+  sim::Task<StatusOr<uint64_t>> DoRequest(msvc::ServiceEndpoint* client,
+                                          ReqKind kind, uint32_t user);
+
+  msvc::RequestFn MakeMixedRequestFn(msvc::ServiceEndpoint* client);
+
+  uint64_t posts_stored() const { return posts_stored_; }
+  uint64_t posts_evicted() const { return posts_evicted_; }
+
+ private:
+  struct StoredPost {
+    uint64_t post_id = 0;
+    uint32_t author = 0;
+    core::Payload media;
+  };
+
+  void InstallMovers();
+  void InstallCompose(msvc::ServiceEndpoint* ep);
+  void InstallTimelines();
+  void InstallPostStorage(msvc::ServiceEndpoint* ep);
+  void InstallMetadataServices();
+
+  msvc::Cluster* cluster_;
+  SocialNetConfig cfg_;
+  Rng rng_;
+
+  // Application state (lives in the owning services).
+  uint64_t next_post_id_ = 1;
+  std::map<uint64_t, StoredPost> posts_;
+  std::deque<uint64_t> post_order_;  // for eviction
+  std::map<uint32_t, std::vector<uint64_t>> user_timeline_;
+  std::map<uint32_t, std::vector<uint64_t>> home_timeline_;
+  std::map<uint32_t, std::vector<uint32_t>> followers_;
+  uint64_t posts_stored_ = 0;
+  uint64_t posts_evicted_ = 0;
+  msvc::ServiceEndpoint* post_storage_ = nullptr;
+};
+
+}  // namespace dmrpc::apps
+
+#endif  // DMRPC_APPS_SOCIALNET_H_

@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace dmrpc {
+
+Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  uint64_t v = static_cast<uint64_t>(value);
+  int msb = 63 - std::countl_zero(v);
+  int octave = msb - kSubBucketBits + 1;       // >= 1
+  int sub = static_cast<int>(v >> octave) & (kSubBuckets - 1);
+  int index = (octave + 1) * kSubBuckets + sub - kSubBuckets;
+  // index = octave * kSubBuckets + sub, where octave >= 1 maps after the
+  // purely linear first octave.
+  return std::min<int>(index, kOctaves * kSubBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  int octave = index >> kSubBucketBits;
+  int sub = index & (kSubBuckets - 1);
+  if (octave == 0) return sub;  // first octave is exact
+  // Bucket holds all v with (v >> octave) == sub, i.e.
+  // [sub << octave, ((sub + 1) << octave) - 1].
+  if (octave >= 57) return INT64_MAX;
+  uint64_t ub = (static_cast<uint64_t>(sub) + 1) << octave;
+  return static_cast<int64_t>(ub - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketIndex(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * count_);
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " p999=" << p999() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace dmrpc

@@ -1,0 +1,62 @@
+#ifndef DMRPC_COMMON_HISTOGRAM_H_
+#define DMRPC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmrpc {
+
+/// Log-linear latency histogram (HdrHistogram-style): values are bucketed
+/// with bounded relative error (~1/32), so tail percentiles up to p99.9
+/// remain accurate over a ns..minutes range without storing every sample.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records a non-negative value (negative values clamp to zero).
+  void Record(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Value at quantile q in [0, 1]; e.g. 0.99 for p99. Returns a bucket
+  /// upper bound, so the result over-estimates by at most ~3%.
+  int64_t ValueAtQuantile(double q) const;
+
+  int64_t p50() const { return ValueAtQuantile(0.50); }
+  int64_t p90() const { return ValueAtQuantile(0.90); }
+  int64_t p99() const { return ValueAtQuantile(0.99); }
+  int64_t p995() const { return ValueAtQuantile(0.995); }
+  int64_t p999() const { return ValueAtQuantile(0.999); }
+
+  /// One-line summary "count=.. mean=.. p50=.. p99=.. p999=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets/octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 58;  // covers int64 range
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace dmrpc
+
+#endif  // DMRPC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,47 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace dmrpc {
+
+namespace {
+
+double HIntegral(double x, double s) {
+  double log_x = std::log(x);
+  if (std::fabs(1.0 - s) < 1e-12) return log_x;
+  return (std::exp(log_x * (1.0 - s)) - 1.0) / (1.0 - s);
+}
+
+double HIntegralInverse(double x, double s) {
+  if (std::fabs(1.0 - s) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - s) + 1.0;
+  if (t < 1e-12) t = 1e-12;
+  return std::exp(std::log(t) / (1.0 - s));
+}
+
+double HFunction(double x, double s) { return std::exp(-s * std::log(x)); }
+
+}  // namespace
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  DMRPC_CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  if (s <= 1e-9) return Next64() % n;
+
+  // Rejection-inversion sampling over [1, n], shifted to [0, n) on return.
+  double h_x1 = HIntegral(1.5, s) - 1.0;
+  double h_n = HIntegral(n + 0.5, s);
+  for (;;) {
+    double u = h_n + NextDouble() * (h_x1 - h_n);
+    double x = HIntegralInverse(u, s);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    if (u >= HIntegral(k + 0.5, s) - HFunction(k, s) ||
+        u >= HIntegral(k + 0.5, s) - HFunction(x, s)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace dmrpc

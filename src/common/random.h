@@ -1,0 +1,88 @@
+#ifndef DMRPC_COMMON_RANDOM_H_
+#define DMRPC_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace dmrpc {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill 2014).
+///
+/// Every stochastic component of the simulator draws from an explicitly
+/// seeded Rng so that whole-datacenter runs are bit-reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; `seq` selects an independent stream.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t seq = 1) {
+    state_ = 0;
+    inc_ = (seq << 1u) | 1u;
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 32) | Next();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint32_t Uniform(uint32_t bound) {
+    DMRPC_CHECK_GT(bound, 0u);
+    // Debiased modulo (Lemire-style threshold rejection).
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    DMRPC_CHECK_LE(lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next64());  // full range
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    uint64_t a = Next() >> 5;  // 27 bits
+    uint64_t b = Next() >> 6;  // 26 bits
+    return ((a << 26) | b) * (1.0 / 9007199254740992.0);  // / 2^53
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    DMRPC_CHECK_GT(mean, 0.0);
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  /// Zipf-distributed integer in [0, n) with skew s (s = 0 is uniform).
+  /// Uses rejection-inversion (Hormann & Derflinger) -- O(1) per draw.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace dmrpc
+
+#endif  // DMRPC_COMMON_RANDOM_H_

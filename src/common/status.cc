@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmrpc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void DieBadStatusOrAccess(const Status& status) {
+  std::fprintf(stderr, "fatal: accessed value of errored StatusOr: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace dmrpc

@@ -1,0 +1,184 @@
+#ifndef DMRPC_COMMON_STATUS_H_
+#define DMRPC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dmrpc {
+
+/// Error categories used across the DmRPC codebase. Modeled after the
+/// RocksDB/Arrow Status idiom: no exceptions on hot paths; every fallible
+/// operation returns a Status (or StatusOr<T>).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kOutOfRange,
+  kPermissionDenied,
+  kUnavailable,
+  kTimedOut,
+  kInternal,
+  kUnimplemented,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The OK state carries no allocation. Error states carry a code and an
+/// optional message. Status is copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts the process (programming error), matching the
+/// no-exceptions policy.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadStatusOrAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) internal::DieBadStatusOrAccess(status_);
+}
+
+/// Propagates a non-OK Status from the current function.
+#define DMRPC_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::dmrpc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define DMRPC_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DMRPC_CONCAT_(_sor_, __LINE__) = (expr);                       \
+  if (!DMRPC_CONCAT_(_sor_, __LINE__).ok())                           \
+    return DMRPC_CONCAT_(_sor_, __LINE__).status();                   \
+  lhs = std::move(DMRPC_CONCAT_(_sor_, __LINE__)).value()
+
+#define DMRPC_CONCAT_INNER_(a, b) a##b
+#define DMRPC_CONCAT_(a, b) DMRPC_CONCAT_INNER_(a, b)
+
+}  // namespace dmrpc
+
+#endif  // DMRPC_COMMON_STATUS_H_

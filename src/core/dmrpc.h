@@ -1,0 +1,127 @@
+#ifndef DMRPC_CORE_DMRPC_H_
+#define DMRPC_CORE_DMRPC_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/payload.h"
+#include "dm/client.h"
+#include "rpc/rpc.h"
+
+namespace dmrpc::core {
+
+/// Tuning of the DmRPC layer.
+struct DmRpcConfig {
+  /// Arguments at or below this size are passed by value; larger ones are
+  /// placed in DM and passed by reference (§IV-B "Size-aware transfer").
+  uint64_t inline_threshold = 1024;
+};
+
+/// Counters of one DmRPC endpoint.
+struct DmRpcStats {
+  uint64_t payloads_inline = 0;
+  uint64_t payloads_by_ref = 0;
+  uint64_t fetches = 0;
+  uint64_t maps = 0;
+  uint64_t releases = 0;
+};
+
+/// A mapped view of a by-reference payload in the caller's DM address
+/// space. Wraps the remote_addr returned by map_ref with read/write
+/// helpers; Close() (= rfree) must be called when done.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  MappedRegion(dm::DmClient* dm, dm::RemoteAddr addr, uint64_t size)
+      : dm_(dm), addr_(addr), size_(size) {}
+
+  /// Move-only: exactly one owner may Close() the mapping.
+  MappedRegion(MappedRegion&& other) noexcept
+      : dm_(std::exchange(other.dm_, nullptr)),
+        addr_(other.addr_),
+        size_(other.size_) {}
+  MappedRegion& operator=(MappedRegion&& other) noexcept {
+    if (this != &other) {
+      dm_ = std::exchange(other.dm_, nullptr);
+      addr_ = other.addr_;
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  bool valid() const { return dm_ != nullptr; }
+  dm::RemoteAddr addr() const { return addr_; }
+  uint64_t size() const { return size_; }
+
+  /// Reads [offset, offset+len) of the region into dst.
+  sim::Task<Status> Read(uint64_t offset, uint8_t* dst, uint64_t len);
+  /// Writes into the region; triggers copy-on-write on shared pages.
+  sim::Task<Status> Write(uint64_t offset, const uint8_t* src, uint64_t len);
+  /// Unmaps the region (rfree), dropping its page shares.
+  sim::Task<Status> Close();
+
+ private:
+  dm::DmClient* dm_ = nullptr;
+  dm::RemoteAddr addr_ = dm::kNullRemoteAddr;
+  uint64_t size_ = 0;
+};
+
+/// DmRPC: a DM-aware datacenter RPC endpoint.
+///
+/// Combines an eRPC-style endpoint (for control and small arguments) with
+/// a DM backend (network or CXL) providing pass-by-reference for large
+/// arguments. When constructed without a DM backend it degrades to plain
+/// pass-by-value RPC -- the paper's eRPC baseline -- so applications
+/// written against this API run unchanged in all three configurations.
+class DmRpc {
+ public:
+  DmRpc(rpc::Rpc* rpc, dm::DmClient* dm, DmRpcConfig cfg = DmRpcConfig());
+
+  DmRpc(const DmRpc&) = delete;
+  DmRpc& operator=(const DmRpc&) = delete;
+
+  rpc::Rpc* rpc() { return rpc_; }
+  dm::DmClient* dm() { return dm_; }
+  bool dm_enabled() const { return dm_ != nullptr; }
+  const DmRpcConfig& config() const { return cfg_; }
+  const DmRpcStats& stats() const { return stats_; }
+
+  /// Builds a payload from local bytes, automatically choosing
+  /// pass-by-value or pass-by-reference (Listing 1's ralloc + rwrite +
+  /// create_ref + rfree sequence for the by-ref case).
+  sim::Task<StatusOr<Payload>> MakePayload(const uint8_t* data,
+                                           uint64_t size);
+
+  /// Convenience overload.
+  sim::Task<StatusOr<Payload>> MakePayload(const std::vector<uint8_t>& data);
+
+  /// Materializes a payload into local bytes (map_ref + rread + rfree for
+  /// the by-ref case). Does not consume the payload's Ref share.
+  sim::Task<StatusOr<std::vector<uint8_t>>> Fetch(const Payload& payload);
+
+  /// Maps a by-reference payload for in-place access (consumers that
+  /// write a fraction of the data, Fig. 8). For inline payloads returns
+  /// an invalid region -- callers should use the inline bytes directly.
+  sim::Task<StatusOr<MappedRegion>> Map(const Payload& payload);
+
+  /// Drops the Ref share of a by-reference payload; the final consumer
+  /// must call this exactly once. No-op for inline payloads. Takes the
+  /// payload by value so the returned task can safely be detached
+  /// (ServiceEndpoint::Detach) after the caller's frame is gone.
+  sim::Task<Status> Release(Payload payload);
+
+ private:
+  rpc::Rpc* rpc_;
+  dm::DmClient* dm_;
+  DmRpcConfig cfg_;
+  DmRpcStats stats_;
+};
+
+}  // namespace dmrpc::core
+
+#endif  // DMRPC_CORE_DMRPC_H_

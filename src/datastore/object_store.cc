@@ -1,0 +1,126 @@
+#include "datastore/object_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "dmnet/protocol.h"
+
+namespace dmrpc::datastore {
+
+using rpc::MsgBuffer;
+using rpc::ReqContext;
+
+DataStoreNode::DataStoreNode(net::Fabric* fabric, net::NodeId node,
+                             DataStoreConfig cfg, net::Port port)
+    : node_(node),
+      port_(port),
+      cfg_(cfg),
+      rpc_(std::make_unique<rpc::Rpc>(fabric, node, port)) {
+  rpc_->RegisterHandler(kFetch, [this](ReqContext c, MsgBuffer m) {
+    return HandleFetch(c, std::move(m));
+  });
+}
+
+sim::Task<StatusOr<ObjectId>> DataStoreNode::Put(const uint8_t* data,
+                                                 uint64_t size) {
+  // IPC to the co-located store daemon, optional serialization, then the
+  // first unconditional copy: caller heap -> store memory.
+  TimeNs cost = cfg_.ipc_round_ns + cfg_.store_op_ns +
+                static_cast<TimeNs>(cfg_.ser_ns_per_byte * size) +
+                cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
+                                   mem::MemKind::kLocalDram, size);
+  co_await sim::Delay(cost);
+  meter_.Charge(mem::MemKind::kLocalDram, 2 * size);
+  ObjectId id{node_, next_seq_++};
+  objects_.emplace(id, std::vector<uint8_t>(data, data + size));
+  stats_.puts++;
+  stats_.bytes_copied += size;
+  co_return id;
+}
+
+sim::Task<StatusOr<std::vector<uint8_t>>> DataStoreNode::Get(
+    const ObjectId& id) {
+  co_await sim::Delay(cfg_.ipc_round_ns + cfg_.store_op_ns);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    if (id.owner == node_) co_return Status::NotFound("object not in store");
+    // Remote fetch: the entire copy moves from the owner's store to the
+    // local store over the network, via the framework control plane.
+    co_await sim::Delay(cfg_.framework_overhead_ns);
+    auto session = co_await SessionTo(id.owner);
+    if (!session.ok()) co_return session.status();
+    MsgBuffer req;
+    req.Append<uint32_t>(id.owner);
+    req.Append<uint64_t>(id.seq);
+    auto resp = co_await rpc_->Call(*session, kFetch, std::move(req));
+    if (!resp.ok()) co_return resp.status();
+    Status st = dmnet::TakeStatus(&*resp);
+    if (!st.ok()) co_return st;
+    uint64_t n = resp->Read<uint64_t>();
+    std::vector<uint8_t> bytes(n);
+    resp->ReadBytes(bytes.data(), n);
+    // Copy into the local store (it stays immutable and cached there).
+    co_await sim::Delay(cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
+                                           mem::MemKind::kLocalDram, n));
+    meter_.Charge(mem::MemKind::kLocalDram, 2 * n);
+    stats_.remote_fetches++;
+    stats_.bytes_copied += n;
+    it = objects_.emplace(id, std::move(bytes)).first;
+  } else {
+    stats_.local_gets++;
+  }
+  // Second unconditional copy: store memory -> user heap (the store copy
+  // is immutable; users never get direct pointers into it).
+  const std::vector<uint8_t>& stored = it->second;
+  TimeNs cost = static_cast<TimeNs>(cfg_.ser_ns_per_byte * stored.size()) +
+                cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
+                                   mem::MemKind::kLocalDram, stored.size());
+  co_await sim::Delay(cost);
+  meter_.Charge(mem::MemKind::kLocalDram, 2 * stored.size());
+  stats_.bytes_copied += stored.size();
+  co_return stored;  // copies
+}
+
+sim::Task<Status> DataStoreNode::Delete(const ObjectId& id) {
+  co_await sim::Delay(cfg_.ipc_round_ns + cfg_.store_op_ns);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) co_return Status::NotFound("object not in store");
+  objects_.erase(it);
+  stats_.deletes++;
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<rpc::SessionId>> DataStoreNode::SessionTo(
+    net::NodeId node) {
+  auto it = peer_sessions_.find(node);
+  if (it != peer_sessions_.end()) co_return it->second;
+  auto session = co_await rpc_->Connect(node, port_);
+  if (!session.ok()) co_return session.status();
+  peer_sessions_.emplace(node, *session);
+  co_return *session;
+}
+
+sim::Task<MsgBuffer> DataStoreNode::HandleFetch(ReqContext ctx,
+                                                MsgBuffer req) {
+  ObjectId id;
+  id.owner = req.Read<uint32_t>();
+  id.seq = req.Read<uint64_t>();
+  co_await sim::Delay(cfg_.store_op_ns);
+  MsgBuffer resp;
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    dmnet::PutStatus(&resp, Status::NotFound("object not in owner store"));
+    co_return resp;
+  }
+  const std::vector<uint8_t>& bytes = it->second;
+  // Reading the object out of store memory onto the wire.
+  co_await sim::Delay(cfg_.memory.AccessNs(mem::MemKind::kLocalDram,
+                                           bytes.size()));
+  meter_.Charge(mem::MemKind::kLocalDram, bytes.size());
+  dmnet::PutStatus(&resp, Status::OK());
+  resp.Append<uint64_t>(bytes.size());
+  resp.AppendBytes(bytes.data(), bytes.size());
+  co_return resp;
+}
+
+}  // namespace dmrpc::datastore

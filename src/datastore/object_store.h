@@ -1,0 +1,127 @@
+#ifndef DMRPC_DATASTORE_OBJECT_STORE_H_
+#define DMRPC_DATASTORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "mem/memory_model.h"
+#include "net/fabric.h"
+#include "rpc/rpc.h"
+
+namespace dmrpc::datastore {
+
+/// Names an immutable object in the distributed store.
+struct ObjectId {
+  net::NodeId owner = net::kInvalidNode;
+  uint64_t seq = 0;
+
+  friend bool operator==(const ObjectId& a, const ObjectId& b) {
+    return a.owner == b.owner && a.seq == b.seq;
+  }
+  friend bool operator<(const ObjectId& a, const ObjectId& b) {
+    return a.owner != b.owner ? a.owner < b.owner : a.seq < b.seq;
+  }
+};
+
+/// Cost model of the store, calibrated to Plasma-class systems. The
+/// `framework_overhead_ns` knob folds in the task-submission / gRPC
+/// control-plane cost of the full framework (Ray or Spark) the paper
+/// measures end to end.
+struct DataStoreConfig {
+  /// One IPC round trip between a process and its co-located store
+  /// (Plasma uses unix sockets + shared memory).
+  TimeNs ipc_round_ns = 15 * kMicrosecond;
+  /// Store-side bookkeeping per operation.
+  TimeNs store_op_ns = 2 * kMicrosecond;
+  /// Per-remote-transfer framework control-plane overhead.
+  TimeNs framework_overhead_ns = 100 * kMicrosecond;
+  /// Spark-style (de)serialization cost per byte on put/get; 0 for the
+  /// Ray-like raw store.
+  double ser_ns_per_byte = 0.0;
+
+  mem::MemoryConfig memory;
+
+  /// Ray-like profile.
+  static DataStoreConfig Ray() { return DataStoreConfig(); }
+  /// Spark-like profile: BlockTransferService with serialization.
+  static DataStoreConfig Spark() {
+    DataStoreConfig cfg;
+    cfg.framework_overhead_ns = 150 * kMicrosecond;
+    cfg.ser_ns_per_byte = 0.8;  // ~1.25 GB/s JVM serialization
+    return cfg;
+  }
+};
+
+/// Counters of one store node.
+struct DataStoreStats {
+  uint64_t puts = 0;
+  uint64_t local_gets = 0;
+  uint64_t remote_fetches = 0;
+  uint64_t deletes = 0;
+  uint64_t bytes_copied = 0;  // into/out of the store (both copies)
+};
+
+/// Port the store server listens on.
+inline constexpr uint16_t kDataStorePort = 7200;
+
+/// One node of a Ray/Spark-style distributed in-memory object store.
+///
+/// Sharing is by immutable copy (§III): Put copies the caller's bytes
+/// into the local store; a remote Get fetches the whole object over the
+/// network into the consumer's local store, then copies it again into the
+/// consumer's heap. These two unconditional copies -- plus the IPC with
+/// the store and the framework control plane -- are exactly the overheads
+/// DmRPC eliminates (Fig. 8).
+class DataStoreNode {
+ public:
+  DataStoreNode(net::Fabric* fabric, net::NodeId node,
+                DataStoreConfig cfg = DataStoreConfig::Ray(),
+                net::Port port = kDataStorePort);
+
+  DataStoreNode(const DataStoreNode&) = delete;
+  DataStoreNode& operator=(const DataStoreNode&) = delete;
+
+  net::NodeId node() const { return node_; }
+  const DataStoreStats& stats() const { return stats_; }
+  const mem::BandwidthMeter& memory_meter() const { return meter_; }
+
+  /// Copies `size` bytes of caller data into the local store; returns the
+  /// object's id (shareable by value in RPCs).
+  sim::Task<StatusOr<ObjectId>> Put(const uint8_t* data, uint64_t size);
+
+  /// Returns a private heap copy of the object, fetching it from the
+  /// owner's store first if it is not cached locally.
+  sim::Task<StatusOr<std::vector<uint8_t>>> Get(const ObjectId& id);
+
+  /// Drops the local (and, for the owner, authoritative) copy.
+  sim::Task<Status> Delete(const ObjectId& id);
+
+  /// Objects currently resident in this node's store.
+  size_t resident_objects() const { return objects_.size(); }
+
+ private:
+  enum StoreReqType : uint8_t { kFetch = 1 };
+
+  sim::Task<rpc::MsgBuffer> HandleFetch(rpc::ReqContext ctx,
+                                        rpc::MsgBuffer req);
+  sim::Task<StatusOr<rpc::SessionId>> SessionTo(net::NodeId node);
+
+  net::NodeId node_;
+  net::Port port_;
+  DataStoreConfig cfg_;
+  std::unique_ptr<rpc::Rpc> rpc_;
+  uint64_t next_seq_ = 1;
+  std::map<ObjectId, std::vector<uint8_t>> objects_;
+  std::unordered_map<net::NodeId, rpc::SessionId> peer_sessions_;
+  mem::BandwidthMeter meter_;
+  DataStoreStats stats_;
+};
+
+}  // namespace dmrpc::datastore
+
+#endif  // DMRPC_DATASTORE_OBJECT_STORE_H_

@@ -1,0 +1,80 @@
+#ifndef DMRPC_DM_CLIENT_H_
+#define DMRPC_DM_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dm/ref.h"
+#include "dm/va_allocator.h"
+#include "sim/task.h"
+
+namespace dmrpc::dm {
+
+/// The disaggregated-memory API of Table II, independent of backend.
+///
+/// DmRPC-net implements it with explicit RPCs to DM servers (rread /
+/// rwrite); DmRPC-CXL implements Read/Write as load/store instructions
+/// walking a local page table into the G-FAM device. All operations are
+/// coroutines because every DM access costs simulated time.
+///
+/// Beyond the paper's Table II we add ReleaseRef: the paper leaves Ref
+/// lifecycle implicit; we make the Ref hold one reference-count share per
+/// page (taken by CreateRef) which the final consumer drops explicitly.
+/// Each MapRef mapping additionally holds its own share, dropped by Free.
+/// This closes the refcount algebra so pages are reclaimed exactly when
+/// the last user releases them (see DESIGN.md).
+class DmClient {
+ public:
+  virtual ~DmClient() = default;
+
+  /// ralloc(size): allocates disaggregated memory, returns a remote_addr.
+  virtual sim::Task<StatusOr<RemoteAddr>> Alloc(uint64_t size) = 0;
+
+  /// rfree(remote_addr): releases a mapping (and its page shares).
+  virtual sim::Task<Status> Free(RemoteAddr addr) = 0;
+
+  /// create_ref(remote_addr, size): returns a Ref to the region, marking
+  /// it read-only (subsequent writes trigger copy-on-write).
+  virtual sim::Task<StatusOr<Ref>> CreateRef(RemoteAddr addr,
+                                             uint64_t size) = 0;
+
+  /// map_ref(ref): maps the referenced pages into this process's DM
+  /// address space (read-only) and returns the new remote_addr.
+  virtual sim::Task<StatusOr<RemoteAddr>> MapRef(const Ref& ref) = 0;
+
+  /// Drops the Ref's own reference-count share (extension, see above).
+  virtual sim::Task<Status> ReleaseRef(const Ref& ref) = 0;
+
+  /// rwrite(remote_addr, local, size): writes local bytes to DM. In the
+  /// CXL backend this models store instructions.
+  virtual sim::Task<Status> Write(RemoteAddr addr, const uint8_t* src,
+                                  uint64_t size) = 0;
+
+  /// rread(remote_addr, local, size): reads DM bytes into local memory.
+  /// In the CXL backend this models load instructions.
+  virtual sim::Task<Status> Read(RemoteAddr addr, uint8_t* dst,
+                                 uint64_t size) = 0;
+
+  // -- Compound fast paths -------------------------------------------------
+  //
+  // Producer and consumer sides of the Listing-1 flow collapsed into one
+  // operation each. Semantically PutRef == ralloc + rwrite + create_ref +
+  // rfree and FetchRef == map_ref + rread + rfree, but the DM layer
+  // executes them in a single round trip (DmRPC-net) or without creating
+  // page-table state (DmRPC-CXL), which is what keeps DmRPC's end-to-end
+  // latency below eRPC's (Fig. 5b). The returned Ref holds one share per
+  // page, dropped by ReleaseRef.
+
+  /// Places `size` bytes into DM and returns a Ref to them.
+  virtual sim::Task<StatusOr<Ref>> PutRef(const uint8_t* data,
+                                          uint64_t size) = 0;
+
+  /// Reads the full contents a Ref points to (read-only; does not map).
+  virtual sim::Task<StatusOr<std::vector<uint8_t>>> FetchRef(
+      const Ref& ref) = 0;
+};
+
+}  // namespace dmrpc::dm
+
+#endif  // DMRPC_DM_CLIENT_H_

@@ -1,0 +1,60 @@
+#include "dm/page_pool.h"
+
+#include "common/logging.h"
+
+namespace dmrpc::dm {
+
+PagePool::PagePool(uint32_t num_frames, uint32_t page_size)
+    : num_frames_(num_frames), page_size_(page_size) {
+  DMRPC_CHECK_GT(num_frames, 0u);
+  DMRPC_CHECK_GT(page_size, 0u);
+  storage_.assign(static_cast<size_t>(num_frames) * page_size, 0);
+  refcounts_.assign(num_frames, 0);
+  for (FrameId f = 0; f < num_frames; ++f) fifo_.push_back(f);
+}
+
+StatusOr<FrameId> PagePool::PopFree() {
+  if (fifo_.empty()) {
+    return Status::OutOfMemory("page pool exhausted");
+  }
+  FrameId f = fifo_.front();
+  fifo_.pop_front();
+  DMRPC_CHECK_EQ(refcounts_[f], 0u) << "frame on free list has references";
+  refcounts_[f] = 1;
+  return f;
+}
+
+void PagePool::PushFree(FrameId frame) {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  DMRPC_CHECK_EQ(refcounts_[frame], 0u)
+      << "freeing frame " << frame << " with live references";
+  fifo_.push_back(frame);
+}
+
+uint8_t* PagePool::FrameData(FrameId frame) {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  return storage_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+const uint8_t* PagePool::FrameData(FrameId frame) const {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  return storage_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+uint32_t PagePool::RefCount(FrameId frame) const {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  return refcounts_[frame];
+}
+
+uint32_t PagePool::IncRef(FrameId frame) {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  return ++refcounts_[frame];
+}
+
+uint32_t PagePool::DecRef(FrameId frame) {
+  DMRPC_CHECK_LT(frame, num_frames_);
+  DMRPC_CHECK_GT(refcounts_[frame], 0u) << "refcount underflow";
+  return --refcounts_[frame];
+}
+
+}  // namespace dmrpc::dm

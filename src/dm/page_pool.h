@@ -1,0 +1,69 @@
+#ifndef DMRPC_DM_PAGE_POOL_H_
+#define DMRPC_DM_PAGE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmrpc::dm {
+
+/// Frame number within a PagePool.
+using FrameId = uint32_t;
+inline constexpr FrameId kInvalidFrame = 0xffffffff;
+
+/// A pool of real page frames with per-frame reference counts and a FIFO
+/// free list -- the paper's pinned-memory layout on DM servers (§V-A) and
+/// the G-FAM device layout (§V-B: "the majority of the physical memory is
+/// used as CXL physical pages, while the remaining memory records the
+/// reference count of these pages").
+///
+/// Page contents are real bytes: copy-on-write physically copies them, so
+/// data integrity is testable end to end.
+class PagePool {
+ public:
+  PagePool(uint32_t num_frames, uint32_t page_size);
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t num_frames() const { return num_frames_; }
+  uint32_t free_frames() const { return static_cast<uint32_t>(fifo_.size()); }
+
+  /// Pops a frame from the FIFO free list; its refcount becomes 1.
+  StatusOr<FrameId> PopFree();
+
+  /// Pushes a frame back onto the free list. The refcount must be zero.
+  void PushFree(FrameId frame);
+
+  /// Raw storage of a frame (page_size bytes).
+  uint8_t* FrameData(FrameId frame);
+  const uint8_t* FrameData(FrameId frame) const;
+
+  /// Reference count accessors (stored linearly, as in the paper).
+  uint32_t RefCount(FrameId frame) const;
+  /// Increments and returns the new count.
+  uint32_t IncRef(FrameId frame);
+  /// Decrements and returns the new count; the frame is NOT pushed to the
+  /// free list automatically (callers decide, mirroring the paper's
+  /// "the process that frees the page lastly reclaims it").
+  uint32_t DecRef(FrameId frame);
+
+  /// Total bytes of page storage.
+  uint64_t capacity_bytes() const {
+    return static_cast<uint64_t>(num_frames_) * page_size_;
+  }
+
+ private:
+  uint32_t num_frames_;
+  uint32_t page_size_;
+  std::vector<uint8_t> storage_;
+  std::vector<uint32_t> refcounts_;
+  std::deque<FrameId> fifo_;
+};
+
+}  // namespace dmrpc::dm
+
+#endif  // DMRPC_DM_PAGE_POOL_H_

@@ -1,0 +1,70 @@
+#ifndef DMRPC_DM_REF_H_
+#define DMRPC_DM_REF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "rpc/wire.h"
+
+namespace dmrpc::dm {
+
+/// A shareable reference to a read-only disaggregated-memory region --
+/// the paper's `Ref` object. Refs are what DmRPC passes by value along
+/// nested RPC chains in place of the data itself; they are a few tens of
+/// bytes regardless of how large the referenced region is.
+///
+/// Two backends (§V):
+///  - kNet: the Ref names the DM server and the key under which the
+///    server's Page Manager stored the pinned page list.
+///  - kCxl: the Ref carries the G-FAM physical page numbers directly
+///    ("the DM layer returns all physical pages' addresses as a
+///    reference", §V-B3).
+struct Ref {
+  enum class Backend : uint8_t { kNet = 0, kCxl = 1 };
+
+  Backend backend = Backend::kNet;
+  /// Bytes of payload the Ref covers (may be less than pages * page_size).
+  uint64_t size = 0;
+  /// kNet: DM server that owns the pages and the key map entry.
+  net::NodeId server = net::kInvalidNode;
+  /// kNet: key into that server's ref map.
+  uint64_t key = 0;
+  /// kCxl: physical page numbers in the G-FAM device.
+  std::vector<uint32_t> pages;
+
+  /// Serialized size on the wire -- what nested RPC calls actually carry.
+  size_t WireBytes() const {
+    return 1 + 8 + 4 + 8 + 4 + pages.size() * sizeof(uint32_t);
+  }
+
+  void EncodeTo(rpc::MsgBuffer* out) const {
+    out->Append<uint8_t>(static_cast<uint8_t>(backend));
+    out->Append<uint64_t>(size);
+    out->Append<uint32_t>(server);
+    out->Append<uint64_t>(key);
+    out->Append<uint32_t>(static_cast<uint32_t>(pages.size()));
+    for (uint32_t p : pages) out->Append<uint32_t>(p);
+  }
+
+  static Ref DecodeFrom(rpc::MsgBuffer* in) {
+    Ref ref;
+    ref.backend = static_cast<Backend>(in->Read<uint8_t>());
+    ref.size = in->Read<uint64_t>();
+    ref.server = in->Read<uint32_t>();
+    ref.key = in->Read<uint64_t>();
+    uint32_t n = in->Read<uint32_t>();
+    ref.pages.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) ref.pages.push_back(in->Read<uint32_t>());
+    return ref;
+  }
+
+  friend bool operator==(const Ref& a, const Ref& b) {
+    return a.backend == b.backend && a.size == b.size &&
+           a.server == b.server && a.key == b.key && a.pages == b.pages;
+  }
+};
+
+}  // namespace dmrpc::dm
+
+#endif  // DMRPC_DM_REF_H_

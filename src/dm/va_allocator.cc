@@ -1,0 +1,81 @@
+#include "dm/va_allocator.h"
+
+#include "common/logging.h"
+
+namespace dmrpc::dm {
+
+VaAllocator::VaAllocator(RemoteAddr base, uint64_t span, uint32_t page_size)
+    : base_(base), span_(span), page_size_(page_size) {
+  DMRPC_CHECK_GT(page_size, 0u);
+  DMRPC_CHECK_EQ(base % page_size, 0u) << "base must be page-aligned";
+  DMRPC_CHECK_GT(span, 0u);
+  // Address 0 is reserved as the null remote address.
+  if (base_ == 0) {
+    base_ += page_size_;
+    DMRPC_CHECK_GT(span_, page_size_);
+    span_ -= page_size_;
+  }
+  free_.emplace(base_, span_);
+}
+
+StatusOr<RemoteAddr> VaAllocator::Alloc(uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  uint64_t need = RoundUp(size);
+  // First fit.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= need) {
+      RemoteAddr addr = it->first;
+      uint64_t len = it->second;
+      free_.erase(it);
+      if (len > need) free_.emplace(addr + need, len - need);
+      allocated_.emplace(addr, need);
+      allocated_bytes_ += need;
+      return addr;
+    }
+  }
+  return Status::OutOfMemory("VA space exhausted");
+}
+
+Status VaAllocator::Free(RemoteAddr addr) {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    return Status::InvalidArgument("free of unknown VA");
+  }
+  uint64_t len = it->second;
+  allocated_.erase(it);
+  allocated_bytes_ -= len;
+
+  // Insert into the free map, coalescing with neighbors.
+  auto next = free_.lower_bound(addr);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      addr = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  if (next != free_.end() && addr + len == next->first) {
+    len += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(addr, len);
+  return Status::OK();
+}
+
+StatusOr<uint64_t> VaAllocator::RangeSize(RemoteAddr addr) const {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    return Status::NotFound("unknown VA range");
+  }
+  return it->second;
+}
+
+bool VaAllocator::Contains(RemoteAddr addr) const {
+  auto it = allocated_.upper_bound(addr);
+  if (it == allocated_.begin()) return false;
+  --it;
+  return addr >= it->first && addr < it->first + it->second;
+}
+
+}  // namespace dmrpc::dm

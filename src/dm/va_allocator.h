@@ -1,0 +1,62 @@
+#ifndef DMRPC_DM_VA_ALLOCATOR_H_
+#define DMRPC_DM_VA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/status.h"
+
+namespace dmrpc::dm {
+
+/// Remote (DM) virtual address.
+using RemoteAddr = uint64_t;
+inline constexpr RemoteAddr kNullRemoteAddr = 0;
+
+/// First-fit virtual-address range allocator over [base, base + span),
+/// modeled on the Linux vma tree the paper references for its per-process
+/// "VA allocation tree". Allocations are page-aligned; adjacent free
+/// ranges coalesce on free.
+class VaAllocator {
+ public:
+  VaAllocator(RemoteAddr base, uint64_t span, uint32_t page_size);
+
+  VaAllocator(const VaAllocator&) = delete;
+  VaAllocator& operator=(const VaAllocator&) = delete;
+
+  /// Reserves a page-aligned range covering `size` bytes; returns its
+  /// starting address.
+  StatusOr<RemoteAddr> Alloc(uint64_t size);
+
+  /// Releases a range previously returned by Alloc. Fails on unknown or
+  /// double frees.
+  Status Free(RemoteAddr addr);
+
+  /// Size (page-rounded) of the allocation starting at `addr`, or error.
+  StatusOr<uint64_t> RangeSize(RemoteAddr addr) const;
+
+  /// True if `addr` falls inside any live allocation.
+  bool Contains(RemoteAddr addr) const;
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  size_t allocation_count() const { return allocated_.size(); }
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  uint64_t RoundUp(uint64_t size) const {
+    return (size + page_size_ - 1) / page_size_ * page_size_;
+  }
+
+  RemoteAddr base_;
+  uint64_t span_;
+  uint32_t page_size_;
+  /// Free ranges, keyed by start address (value = length). Invariant: no
+  /// two entries are adjacent or overlapping.
+  std::map<RemoteAddr, uint64_t> free_;
+  /// Live allocations, keyed by start (value = rounded length).
+  std::map<RemoteAddr, uint64_t> allocated_;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace dmrpc::dm
+
+#endif  // DMRPC_DM_VA_ALLOCATOR_H_

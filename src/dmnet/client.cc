@@ -1,0 +1,235 @@
+#include "dmnet/client.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "dmnet/protocol.h"
+
+namespace dmrpc::dmnet {
+
+using dm::Ref;
+using dm::RemoteAddr;
+using rpc::MsgBuffer;
+
+DmNetClient::DmNetClient(rpc::Rpc* rpc, std::vector<DmServerAddr> servers)
+    : rpc_(rpc), servers_(std::move(servers)) {
+  DMRPC_CHECK(!servers_.empty()) << "need at least one DM server";
+}
+
+sim::Task<Status> DmNetClient::Init() {
+  DMRPC_CHECK(!initialized_) << "DmNetClient::Init called twice";
+  for (const DmServerAddr& srv : servers_) {
+    auto session = co_await rpc_->Connect(srv.node, srv.port);
+    if (!session.ok()) co_return session.status();
+    sessions_.push_back(*session);
+    auto resp = co_await rpc_->Call(*session, kRegister, MsgBuffer());
+    if (!resp.ok()) co_return resp.status();
+    Status st = TakeStatus(&*resp);
+    if (!st.ok()) co_return st;
+    pids_.push_back(resp->Read<uint32_t>());
+  }
+  initialized_ = true;
+  co_return Status::OK();
+}
+
+StatusOr<size_t> DmNetClient::RouteAddr(RemoteAddr addr) const {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (addr >= servers_[i].va_partition_base &&
+        addr < servers_[i].va_partition_base + servers_[i].va_partition_span) {
+      return i;
+    }
+  }
+  return Status::InvalidArgument("remote address outside all DM partitions");
+}
+
+StatusOr<size_t> DmNetClient::RouteNode(net::NodeId node) const {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i].node == node) return i;
+  }
+  return Status::InvalidArgument("ref names an unknown DM server");
+}
+
+sim::Task<StatusOr<RemoteAddr>> DmNetClient::Alloc(uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  // Round-robin with failover: a server that is out of pages or VA space
+  // is skipped and the next one tried (§VI-A load-balanced distribution).
+  Status last = Status::OutOfMemory("all DM servers exhausted");
+  size_t start = rr_next_++ % servers_.size();
+  for (size_t k = 0; k < servers_.size(); ++k) {
+    size_t i = (start + k) % servers_.size();
+    MsgBuffer req;
+    req.Append<uint32_t>(pids_[i]);
+    req.Append<uint64_t>(size);
+    auto resp = co_await rpc_->Call(sessions_[i], kAlloc, std::move(req));
+    if (!resp.ok()) {
+      last = resp.status();
+      continue;
+    }
+    Status st = TakeStatus(&*resp);
+    if (st.ok()) co_return resp->Read<uint64_t>();
+    if (!st.IsOutOfMemory()) co_return st;
+    last = st;
+  }
+  co_return last;
+}
+
+sim::Task<Status> DmNetClient::Free(RemoteAddr addr) {
+  DMRPC_CHECK(initialized_);
+  auto i = RouteAddr(addr);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(addr);
+  auto resp = co_await rpc_->Call(sessions_[*i], kFree, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return TakeStatus(&*resp);
+}
+
+sim::Task<StatusOr<Ref>> DmNetClient::CreateRef(RemoteAddr addr,
+                                                uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  auto i = RouteAddr(addr);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(addr);
+  req.Append<uint64_t>(size);
+  auto resp = co_await rpc_->Call(sessions_[*i], kCreateRef, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  Status st = TakeStatus(&*resp);
+  if (!st.ok()) co_return st;
+  Ref ref;
+  ref.backend = Ref::Backend::kNet;
+  ref.size = size;
+  ref.server = servers_[*i].node;
+  ref.key = resp->Read<uint64_t>();
+  co_return ref;
+}
+
+sim::Task<StatusOr<RemoteAddr>> DmNetClient::MapRef(const Ref& ref) {
+  DMRPC_CHECK(initialized_);
+  DMRPC_CHECK(ref.backend == Ref::Backend::kNet);
+  auto i = RouteNode(ref.server);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(ref.key);
+  auto resp = co_await rpc_->Call(sessions_[*i], kMapRef, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  Status st = TakeStatus(&*resp);
+  if (!st.ok()) co_return st;
+  co_return resp->Read<uint64_t>();
+}
+
+sim::Task<Status> DmNetClient::ReleaseRef(const Ref& ref) {
+  DMRPC_CHECK(initialized_);
+  DMRPC_CHECK(ref.backend == Ref::Backend::kNet);
+  auto i = RouteNode(ref.server);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint64_t>(ref.key);
+  auto resp = co_await rpc_->Call(sessions_[*i], kReleaseRef, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return TakeStatus(&*resp);
+}
+
+sim::Task<Status> DmNetClient::Write(RemoteAddr addr, const uint8_t* src,
+                                     uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  auto i = RouteAddr(addr);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(addr);
+  req.Append<uint64_t>(size);
+  req.AppendBytes(src, size);
+  auto resp = co_await rpc_->Call(sessions_[*i], kWrite, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return TakeStatus(&*resp);
+}
+
+sim::Task<Status> DmNetClient::Read(RemoteAddr addr, uint8_t* dst,
+                                    uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  auto i = RouteAddr(addr);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(addr);
+  req.Append<uint64_t>(size);
+  auto resp = co_await rpc_->Call(sessions_[*i], kRead, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  Status st = TakeStatus(&*resp);
+  if (!st.ok()) co_return st;
+  DMRPC_CHECK_EQ(resp->remaining(), size);
+  resp->ReadBytes(dst, size);
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<Ref>> DmNetClient::PutRef(const uint8_t* data,
+                                             uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  // Round-robin like ralloc, with the same out-of-pages failover.
+  Status last = Status::OutOfMemory("all DM servers exhausted");
+  size_t start = rr_next_++ % servers_.size();
+  for (size_t k = 0; k < servers_.size(); ++k) {
+    size_t i = (start + k) % servers_.size();
+    MsgBuffer req;
+    req.Append<uint64_t>(size);
+    req.AppendBytes(data, size);
+    auto resp = co_await rpc_->Call(sessions_[i], kPutRef, std::move(req));
+    if (!resp.ok()) {
+      last = resp.status();
+      continue;
+    }
+    Status st = TakeStatus(&*resp);
+    if (st.ok()) {
+      Ref ref;
+      ref.backend = Ref::Backend::kNet;
+      ref.size = size;
+      ref.server = servers_[i].node;
+      ref.key = resp->Read<uint64_t>();
+      co_return ref;
+    }
+    if (!st.IsOutOfMemory()) co_return st;
+    last = st;
+  }
+  co_return last;
+}
+
+sim::Task<Status> DmNetClient::WriteInPlace(RemoteAddr addr,
+                                            const uint8_t* src,
+                                            uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  auto i = RouteAddr(addr);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint32_t>(pids_[*i]);
+  req.Append<uint64_t>(addr);
+  req.Append<uint64_t>(size);
+  req.AppendBytes(src, size);
+  auto resp = co_await rpc_->Call(sessions_[*i], kWriteShared,
+                                  std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return TakeStatus(&*resp);
+}
+
+sim::Task<StatusOr<std::vector<uint8_t>>> DmNetClient::FetchRef(
+    const Ref& ref) {
+  DMRPC_CHECK(initialized_);
+  DMRPC_CHECK(ref.backend == Ref::Backend::kNet);
+  auto i = RouteNode(ref.server);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint64_t>(ref.key);
+  auto resp = co_await rpc_->Call(sessions_[*i], kFetchRef, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  Status st = TakeStatus(&*resp);
+  if (!st.ok()) co_return st;
+  uint64_t n = resp->Read<uint64_t>();
+  std::vector<uint8_t> out(n);
+  resp->ReadBytes(out.data(), n);
+  co_return out;
+}
+
+}  // namespace dmrpc::dmnet

@@ -1,0 +1,81 @@
+#ifndef DMRPC_DMNET_CLIENT_H_
+#define DMRPC_DMNET_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dm/client.h"
+#include "rpc/rpc.h"
+
+namespace dmrpc::dmnet {
+
+/// Location of one DM server on the fabric.
+struct DmServerAddr {
+  net::NodeId node = net::kInvalidNode;
+  net::Port port = 0;
+  /// Base of the VA partition this server allocates from. Must match the
+  /// server's `va_partition_base` so the client can route a RemoteAddr
+  /// back to its owning server.
+  uint64_t va_partition_base = 0;
+  uint64_t va_partition_span = uint64_t{1} << 40;
+};
+
+/// DmRPC-net's DM layer on a compute server: implements the Table II API
+/// by issuing explicit RPCs (rread/rwrite/...) to one or more DM servers.
+/// Allocation requests round-robin across servers (§VI-A); reads and
+/// writes are routed by the VA partition the address falls in.
+class DmNetClient : public dm::DmClient {
+ public:
+  /// `rpc` is the owning microservice's endpoint; the client multiplexes
+  /// DM traffic over it.
+  DmNetClient(rpc::Rpc* rpc, std::vector<DmServerAddr> servers);
+
+  /// Connects sessions to all DM servers and registers a global PID with
+  /// each. Must complete before any other call.
+  sim::Task<Status> Init();
+
+  sim::Task<StatusOr<dm::RemoteAddr>> Alloc(uint64_t size) override;
+  sim::Task<Status> Free(dm::RemoteAddr addr) override;
+  sim::Task<StatusOr<dm::Ref>> CreateRef(dm::RemoteAddr addr,
+                                         uint64_t size) override;
+  sim::Task<StatusOr<dm::RemoteAddr>> MapRef(const dm::Ref& ref) override;
+  sim::Task<Status> ReleaseRef(const dm::Ref& ref) override;
+  sim::Task<Status> Write(dm::RemoteAddr addr, const uint8_t* src,
+                          uint64_t size) override;
+  sim::Task<Status> Read(dm::RemoteAddr addr, uint8_t* dst,
+                         uint64_t size) override;
+  sim::Task<StatusOr<dm::Ref>> PutRef(const uint8_t* data,
+                                      uint64_t size) override;
+  sim::Task<StatusOr<std::vector<uint8_t>>> FetchRef(
+      const dm::Ref& ref) override;
+
+  /// DSM-mode write: mutates shared pages IN PLACE, bypassing
+  /// copy-on-write. Other mappings of the same pages observe the new
+  /// bytes immediately; the caller must provide its own synchronization
+  /// (see dsm::LockServer). Exists to model the DSM row of Table I --
+  /// DmRPC applications should never need it.
+  sim::Task<Status> WriteInPlace(dm::RemoteAddr addr, const uint8_t* src,
+                                 uint64_t size);
+
+  /// PID this client registered with server `i`.
+  uint32_t pid(size_t i) const { return pids_[i]; }
+  size_t num_servers() const { return servers_.size(); }
+
+ private:
+  /// Index of the server owning `addr`, or error if unroutable.
+  StatusOr<size_t> RouteAddr(dm::RemoteAddr addr) const;
+  /// Index of the server identified by fabric node id.
+  StatusOr<size_t> RouteNode(net::NodeId node) const;
+
+  rpc::Rpc* rpc_;
+  std::vector<DmServerAddr> servers_;
+  std::vector<rpc::SessionId> sessions_;
+  std::vector<uint32_t> pids_;
+  size_t rr_next_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace dmrpc::dmnet
+
+#endif  // DMRPC_DMNET_CLIENT_H_

@@ -1,0 +1,44 @@
+#ifndef DMRPC_DMNET_PROTOCOL_H_
+#define DMRPC_DMNET_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rpc/wire.h"
+
+namespace dmrpc::dmnet {
+
+/// RPC request types served by a DM server (its Page Manager / Address
+/// Translator front end).
+enum DmReqType : uint8_t {
+  kRegister = 1,    // () -> pid
+  kAlloc = 2,       // (pid, size) -> remote_addr
+  kFree = 3,        // (pid, remote_addr) -> ()
+  kCreateRef = 4,   // (pid, remote_addr, size) -> key
+  kMapRef = 5,      // (pid, key) -> remote_addr
+  kReleaseRef = 6,  // (key) -> ()
+  kWrite = 7,       // (pid, remote_addr, bytes) -> ()
+  kRead = 8,        // (pid, remote_addr, len) -> bytes
+  kPutRef = 9,      // (bytes) -> key          [compound fast path]
+  kFetchRef = 10,   // (key) -> bytes          [compound fast path]
+  kWriteShared = 11,  // (pid, remote_addr, bytes) -> (), no COW [DSM mode]
+};
+
+/// Default UDP port DM servers listen on.
+inline constexpr uint16_t kDmServerPort = 7000;
+
+/// Encodes a status code as the leading byte of a response.
+inline void PutStatus(rpc::MsgBuffer* out, const Status& st) {
+  out->Append<uint8_t>(static_cast<uint8_t>(st.code()));
+}
+
+/// Reads the leading status byte of a response.
+inline Status TakeStatus(rpc::MsgBuffer* in) {
+  auto code = static_cast<StatusCode>(in->Read<uint8_t>());
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, "DM server error");
+}
+
+}  // namespace dmrpc::dmnet
+
+#endif  // DMRPC_DMNET_PROTOCOL_H_

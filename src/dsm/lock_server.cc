@@ -1,0 +1,145 @@
+#include "dsm/lock_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "dmnet/protocol.h"
+
+namespace dmrpc::dsm {
+
+using rpc::MsgBuffer;
+using rpc::ReqContext;
+
+LockServer::LockServer(net::Fabric* fabric, net::NodeId node, net::Port port)
+    : node_(node),
+      port_(port),
+      rpc_(std::make_unique<rpc::Rpc>(fabric, node, port)) {
+  rpc_->RegisterHandler(kAcquire, [this](ReqContext c, MsgBuffer m) {
+    return HandleAcquire(c, std::move(m));
+  });
+  rpc_->RegisterHandler(kRelease, [this](ReqContext c, MsgBuffer m) {
+    return HandleRelease(c, std::move(m));
+  });
+}
+
+sim::Task<MsgBuffer> LockServer::HandleAcquire(ReqContext ctx,
+                                               MsgBuffer req) {
+  uint64_t region = req.Read<uint64_t>();
+  LockMode mode = static_cast<LockMode>(req.Read<uint8_t>());
+  co_await sim::Delay(150);  // lock-table lookup
+  RegionLock& lock = regions_[region];
+  if (CanGrant(lock, mode)) {
+    if (mode == LockMode::kShared) {
+      lock.shared_holders++;
+    } else {
+      lock.exclusive_held = true;
+    }
+    grants_++;
+    MsgBuffer resp;
+    dmnet::PutStatus(&resp, Status::OK());
+    co_return resp;
+  }
+  // Queue FIFO; the response is withheld until the grant, which is what
+  // blocks the caller -- lock waits ride the RPC.
+  contentions_++;
+  auto granted = std::make_shared<sim::Completion<Status>>();
+  lock.queue.push_back(RegionLock::Waiter{mode, granted});
+  Status st = co_await granted->Wait();
+  MsgBuffer resp;
+  dmnet::PutStatus(&resp, st);
+  co_return resp;
+}
+
+void LockServer::GrantWaiters(RegionLock& lock) {
+  // Grant the head of the queue; batch adjacent shared waiters.
+  while (!lock.queue.empty()) {
+    RegionLock::Waiter& head = lock.queue.front();
+    if (head.mode == LockMode::kExclusive) {
+      if (lock.exclusive_held || lock.shared_holders > 0) break;
+      lock.exclusive_held = true;
+      grants_++;
+      head.granted->Set(Status::OK());
+      lock.queue.pop_front();
+      break;
+    }
+    if (lock.exclusive_held) break;
+    lock.shared_holders++;
+    grants_++;
+    head.granted->Set(Status::OK());
+    lock.queue.pop_front();
+  }
+}
+
+void LockServer::MaybeReap(uint64_t region) {
+  auto it = regions_.find(region);
+  if (it != regions_.end() && it->second.shared_holders == 0 &&
+      !it->second.exclusive_held && it->second.queue.empty()) {
+    regions_.erase(it);
+  }
+}
+
+sim::Task<MsgBuffer> LockServer::HandleRelease(ReqContext ctx,
+                                               MsgBuffer req) {
+  uint64_t region = req.Read<uint64_t>();
+  LockMode mode = static_cast<LockMode>(req.Read<uint8_t>());
+  co_await sim::Delay(150);
+  MsgBuffer resp;
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    dmnet::PutStatus(&resp, Status::NotFound("release of unheld lock"));
+    co_return resp;
+  }
+  RegionLock& lock = it->second;
+  if (mode == LockMode::kShared) {
+    if (lock.shared_holders == 0) {
+      dmnet::PutStatus(&resp, Status::InvalidArgument("not share-locked"));
+      co_return resp;
+    }
+    lock.shared_holders--;
+  } else {
+    if (!lock.exclusive_held) {
+      dmnet::PutStatus(&resp, Status::InvalidArgument("not excl-locked"));
+      co_return resp;
+    }
+    lock.exclusive_held = false;
+  }
+  GrantWaiters(lock);
+  MaybeReap(region);
+  dmnet::PutStatus(&resp, Status::OK());
+  co_return resp;
+}
+
+DsmLockClient::DsmLockClient(rpc::Rpc* rpc, net::NodeId server,
+                             net::Port port)
+    : rpc_(rpc), server_(server), port_(port) {}
+
+sim::Task<Status> DsmLockClient::Init() {
+  DMRPC_CHECK(!initialized_);
+  auto session = co_await rpc_->Connect(server_, port_);
+  if (!session.ok()) co_return session.status();
+  session_ = *session;
+  initialized_ = true;
+  co_return Status::OK();
+}
+
+sim::Task<Status> DsmLockClient::Lock(uint64_t region, LockMode mode) {
+  DMRPC_CHECK(initialized_);
+  MsgBuffer req;
+  req.Append<uint64_t>(region);
+  req.Append<uint8_t>(static_cast<uint8_t>(mode));
+  auto resp = co_await rpc_->Call(session_, kAcquire, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return dmnet::TakeStatus(&*resp);
+}
+
+sim::Task<Status> DsmLockClient::Unlock(uint64_t region, LockMode mode) {
+  DMRPC_CHECK(initialized_);
+  MsgBuffer req;
+  req.Append<uint64_t>(region);
+  req.Append<uint8_t>(static_cast<uint8_t>(mode));
+  auto resp = co_await rpc_->Call(session_, kRelease, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return dmnet::TakeStatus(&*resp);
+}
+
+}  // namespace dmrpc::dsm

@@ -1,0 +1,114 @@
+#ifndef DMRPC_DSM_LOCK_SERVER_H_
+#define DMRPC_DSM_LOCK_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "rpc/rpc.h"
+#include "sim/sync.h"
+
+namespace dmrpc::dsm {
+
+/// Lock-service request types.
+enum LockReqType : uint8_t {
+  kAcquire = 1,  // (region, mode) -> () when granted
+  kRelease = 2,  // (region, mode) -> ()
+};
+
+/// Lock modes.
+enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+/// Default port the lock server listens on.
+inline constexpr uint16_t kLockServerPort = 7300;
+
+/// Per-region lock state.
+struct RegionLock {
+  int shared_holders = 0;
+  bool exclusive_held = false;
+  /// FIFO of waiters; each entry completes when the lock is granted.
+  struct Waiter {
+    LockMode mode;
+    std::shared_ptr<sim::Completion<Status>> granted;
+  };
+  std::deque<Waiter> queue;
+};
+
+/// The synchronization service a DSM-model deployment needs (Table I):
+/// readers-writer locks over shared-region ids, granted FIFO. This is
+/// the machinery -- rlock/runlock in Clio, mutexes in Remote Regions,
+/// lock tables in FaRM -- that DmRPC's copy-on-write design removes from
+/// application logic. Locks here are advisory: data itself lives in the
+/// DM servers and every participant must follow the locking discipline,
+/// which is exactly the programming-complexity cost the paper argues
+/// against.
+class LockServer {
+ public:
+  LockServer(net::Fabric* fabric, net::NodeId node,
+             net::Port port = kLockServerPort);
+
+  LockServer(const LockServer&) = delete;
+  LockServer& operator=(const LockServer&) = delete;
+
+  net::NodeId node() const { return node_; }
+  net::Port port() const { return port_; }
+  uint64_t grants() const { return grants_; }
+  uint64_t contentions() const { return contentions_; }
+
+  /// Live regions with any holder or waiter (diagnostics).
+  size_t active_regions() const { return regions_.size(); }
+
+ private:
+  sim::Task<rpc::MsgBuffer> HandleAcquire(rpc::ReqContext ctx,
+                                          rpc::MsgBuffer req);
+  sim::Task<rpc::MsgBuffer> HandleRelease(rpc::ReqContext ctx,
+                                          rpc::MsgBuffer req);
+
+  /// True if `mode` can be granted right now.
+  static bool CanGrant(const RegionLock& lock, LockMode mode) {
+    if (mode == LockMode::kShared) {
+      return !lock.exclusive_held && lock.queue.empty();
+    }
+    return !lock.exclusive_held && lock.shared_holders == 0;
+  }
+
+  void GrantWaiters(RegionLock& lock);
+  void MaybeReap(uint64_t region);
+
+  net::NodeId node_;
+  net::Port port_;
+  std::unique_ptr<rpc::Rpc> rpc_;
+  std::unordered_map<uint64_t, RegionLock> regions_;
+  uint64_t grants_ = 0;
+  uint64_t contentions_ = 0;
+};
+
+/// Client-side handle: acquire/release region locks over RPC. One
+/// DsmLockClient per process, multiplexed over the process's endpoint.
+class DsmLockClient {
+ public:
+  DsmLockClient(rpc::Rpc* rpc, net::NodeId server,
+                net::Port port = kLockServerPort);
+
+  /// Connects the session. Must complete before Lock/Unlock.
+  sim::Task<Status> Init();
+
+  /// Blocks (FIFO) until the region lock is granted in `mode`.
+  sim::Task<Status> Lock(uint64_t region, LockMode mode);
+  /// Releases a held lock.
+  sim::Task<Status> Unlock(uint64_t region, LockMode mode);
+
+ private:
+  rpc::Rpc* rpc_;
+  net::NodeId server_;
+  net::Port port_;
+  rpc::SessionId session_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace dmrpc::dsm
+
+#endif  // DMRPC_DSM_LOCK_SERVER_H_

@@ -1,0 +1,17 @@
+#include "mem/memory_model.h"
+
+namespace dmrpc::mem {
+
+const char* MemKindName(MemKind kind) {
+  switch (kind) {
+    case MemKind::kLocalDram:
+      return "local-dram";
+    case MemKind::kRemoteSocket:
+      return "remote-socket";
+    case MemKind::kCxl:
+      return "cxl";
+  }
+  return "?";
+}
+
+}  // namespace dmrpc::mem

@@ -1,0 +1,93 @@
+#ifndef DMRPC_MEM_MEMORY_MODEL_H_
+#define DMRPC_MEM_MEMORY_MODEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace dmrpc::mem {
+
+/// Which tier of the memory hierarchy an access touches.
+enum class MemKind : int {
+  kLocalDram = 0,    // same-socket DDR
+  kRemoteSocket = 1, // one UPI hop
+  kCxl = 2,          // CXL device behind a CXL switch
+};
+inline constexpr int kNumMemKinds = 3;
+
+const char* MemKindName(MemKind kind);
+
+/// Latency/bandwidth model of one host's memory hierarchy. Defaults match
+/// the paper's calibration (75 ns local DDR, 125 ns cross-socket, 265 ns
+/// emulated CXL pool = 165 ns device + 100 ns switch).
+struct MemoryConfig {
+  TimeNs local_dram_latency_ns = 75;
+  TimeNs remote_socket_latency_ns = 125;
+  TimeNs cxl_latency_ns = 265;
+  /// Sustainable single-stream copy bandwidth, bytes per nanosecond.
+  double dram_bytes_per_ns = 12.0;
+  double cxl_bytes_per_ns = 24.0;
+
+  TimeNs LatencyFor(MemKind kind) const {
+    switch (kind) {
+      case MemKind::kLocalDram:
+        return local_dram_latency_ns;
+      case MemKind::kRemoteSocket:
+        return remote_socket_latency_ns;
+      case MemKind::kCxl:
+        return cxl_latency_ns;
+    }
+    return 0;
+  }
+
+  double BandwidthFor(MemKind kind) const {
+    return kind == MemKind::kCxl ? cxl_bytes_per_ns : dram_bytes_per_ns;
+  }
+
+  /// Modeled time for a streaming access (read, write, or copy source or
+  /// sink) of `bytes` at tier `kind`: one access latency plus transfer.
+  TimeNs AccessNs(MemKind kind, uint64_t bytes) const {
+    return LatencyFor(kind) + TransferNs(bytes, BandwidthFor(kind));
+  }
+
+  /// Modeled time for a memcpy whose source and destination are in the
+  /// given tiers; the slower tier bounds the stream.
+  TimeNs CopyNs(MemKind src, MemKind dst, uint64_t bytes) const {
+    double bw = BandwidthFor(src) < BandwidthFor(dst) ? BandwidthFor(src)
+                                                      : BandwidthFor(dst);
+    TimeNs lat = LatencyFor(src) > LatencyFor(dst) ? LatencyFor(src)
+                                                   : LatencyFor(dst);
+    return lat + TransferNs(bytes, bw);
+  }
+};
+
+/// Per-host accounting of modeled memory traffic, mirroring what the paper
+/// measures with Intel PCM (Fig. 6b, Fig. 7c). Every modeled DRAM/CXL
+/// transfer must be charged here by the component performing it.
+class BandwidthMeter {
+ public:
+  void Charge(MemKind kind, uint64_t bytes) {
+    bytes_[static_cast<int>(kind)] += bytes;
+  }
+
+  uint64_t bytes(MemKind kind) const {
+    return bytes_[static_cast<int>(kind)];
+  }
+
+  /// All DRAM traffic (local + remote socket).
+  uint64_t dram_bytes() const {
+    return bytes_[0] + bytes_[1];
+  }
+
+  uint64_t total_bytes() const { return bytes_[0] + bytes_[1] + bytes_[2]; }
+
+  void Reset() { bytes_ = {}; }
+
+ private:
+  std::array<uint64_t, kNumMemKinds> bytes_{};
+};
+
+}  // namespace dmrpc::mem
+
+#endif  // DMRPC_MEM_MEMORY_MODEL_H_

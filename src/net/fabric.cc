@@ -1,0 +1,99 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmrpc::net {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kNicTx:
+      return "nic-tx";
+    case TraceStage::kOnWire:
+      return "on-wire";
+    case TraceStage::kForwarded:
+      return "forwarded";
+    case TraceStage::kDropped:
+      return "dropped";
+    case TraceStage::kDelivered:
+      return "delivered";
+  }
+  return "?";
+}
+
+void Fabric::Trace(TraceStage stage, const Packet& pkt) {
+  if (!trace_) return;
+  TraceEvent ev;
+  ev.time = sim_->Now();
+  ev.stage = stage;
+  ev.packet_id = pkt.id;
+  ev.src = pkt.src;
+  ev.dst = pkt.dst;
+  ev.src_port = pkt.src_port;
+  ev.dst_port = pkt.dst_port;
+  ev.bytes = static_cast<uint32_t>(pkt.payload.size());
+  trace_(ev);
+}
+
+Fabric::Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
+               uint32_t num_nodes)
+    : sim_(sim), cfg_(cfg) {
+  DMRPC_CHECK_GT(num_nodes, 0u);
+  nics_.reserve(num_nodes);
+  egress_queues_.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    nics_.push_back(std::make_unique<Nic>(sim_, this, i, cfg_));
+    egress_queues_.push_back(std::make_unique<sim::Channel<Packet>>());
+    sim_->Spawn(EgressPump(i));
+  }
+}
+
+void Fabric::SendToSwitch(Packet pkt) {
+  // Cable from host to switch.
+  sim_->After(cfg_.link_propagation_ns,
+              [this, p = std::move(pkt)]() mutable { SwitchIngress(std::move(p)); });
+}
+
+void Fabric::SwitchIngress(Packet pkt) {
+  if (pkt.dst >= num_nodes()) {
+    switch_stats_.dropped_unknown_dst++;
+    Trace(TraceStage::kDropped, pkt);
+    return;
+  }
+  if (drop_filter_ && drop_filter_(pkt)) {
+    switch_stats_.dropped_loss++;
+    Trace(TraceStage::kDropped, pkt);
+    return;
+  }
+  if (cfg_.loss_probability > 0.0 &&
+      sim_->rng().Bernoulli(cfg_.loss_probability)) {
+    switch_stats_.dropped_loss++;
+    Trace(TraceStage::kDropped, pkt);
+    return;
+  }
+  egress_queues_[pkt.dst]->Push(std::move(pkt));
+}
+
+sim::Task<> Fabric::EgressPump(NodeId port) {
+  sim::Channel<Packet>* queue = egress_queues_[port].get();
+  for (;;) {
+    Packet pkt = co_await queue->Pop();
+    // The egress port is occupied only while the packet serializes onto
+    // the cable; the forwarding-pipeline latency and propagation delay
+    // are pipelined (they add delivery delay, not port occupancy).
+    TimeNs serialize =
+        TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+    co_await sim::Delay(serialize);
+    switch_stats_.forwarded++;
+    Trace(TraceStage::kForwarded, pkt);
+    NodeId dst = pkt.dst;
+    sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+                [this, dst, p = std::move(pkt)]() mutable {
+                  Trace(TraceStage::kDelivered, p);
+                  nics_[dst]->Deliver(std::move(p));
+                });
+  }
+}
+
+}  // namespace dmrpc::net

@@ -1,0 +1,112 @@
+#ifndef DMRPC_NET_FABRIC_H_
+#define DMRPC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/config.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "sim/channel.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::net {
+
+/// Per-switch counters.
+struct SwitchStats {
+  uint64_t forwarded = 0;
+  uint64_t dropped_loss = 0;
+  uint64_t dropped_unknown_dst = 0;
+};
+
+/// Stages of a packet's life, in order, as reported to a trace sink.
+enum class TraceStage : uint8_t {
+  kNicTx = 0,     // accepted by the sender's NIC queue
+  kOnWire = 1,    // serialized onto the cable towards the switch
+  kForwarded = 2, // left the switch egress port
+  kDropped = 3,   // dropped (loss injection or unknown destination)
+  kDelivered = 4, // handed to the receiver's NIC demux
+};
+
+const char* TraceStageName(TraceStage stage);
+
+/// One trace event; the sink receives every stage of every packet while
+/// tracing is enabled. Useful for protocol debugging and for asserting
+/// latency decompositions in tests.
+struct TraceEvent {
+  TimeNs time = 0;
+  TraceStage stage = TraceStage::kNicTx;
+  uint64_t packet_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Port src_port = 0;
+  Port dst_port = 0;
+  uint32_t bytes = 0;
+};
+
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+/// A rack: N hosts, each with one NIC, connected through a single
+/// store-and-forward ToR switch (the paper's topology).
+///
+/// Packet path:
+///   sender NIC TX pump (serialize at link rate + NIC overhead)
+///   -> cable (propagation)
+///   -> switch ingress -> egress port queue (serialize at link rate,
+///      + switch forwarding latency, loss injection here)
+///   -> cable (propagation)
+///   -> receiver NIC demux (+ NIC overhead)
+class Fabric {
+ public:
+  Fabric(sim::Simulation* sim, const NetworkConfig& cfg, uint32_t num_nodes);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulation* simulation() { return sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nics_.size()); }
+
+  Nic* nic(NodeId node) { return nics_[node].get(); }
+
+  const SwitchStats& switch_stats() const { return switch_stats_; }
+
+  /// Test hook: invoked per packet at switch ingress; return true to drop.
+  void set_drop_filter(std::function<bool(const Packet&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
+  /// Installs a packet-trace sink (pass nullptr to disable). The sink
+  /// sees every TraceStage of every packet; keep it cheap.
+  void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// Called by NICs and the switch at each packet stage.
+  void Trace(TraceStage stage, const Packet& pkt);
+
+  /// Fresh trace id for a packet.
+  uint64_t NextPacketId() { return next_packet_id_++; }
+
+  /// Called by a NIC TX pump after serialization: the packet is on the
+  /// cable towards the switch.
+  void SendToSwitch(Packet pkt);
+
+ private:
+  sim::Task<> EgressPump(NodeId port);
+  void SwitchIngress(Packet pkt);
+
+  sim::Simulation* sim_;
+  NetworkConfig cfg_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  /// One egress queue per switch port (per destination host).
+  std::vector<std::unique_ptr<sim::Channel<Packet>>> egress_queues_;
+  SwitchStats switch_stats_;
+  std::function<bool(const Packet&)> drop_filter_;
+  TraceSink trace_;
+  uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace dmrpc::net
+
+#endif  // DMRPC_NET_FABRIC_H_

@@ -1,0 +1,58 @@
+#include "net/nic.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/fabric.h"
+
+namespace dmrpc::net {
+
+Nic::Nic(sim::Simulation* sim, Fabric* fabric, NodeId node,
+         const NetworkConfig& cfg)
+    : sim_(sim), fabric_(fabric), node_(node), cfg_(cfg) {
+  sim_->Spawn(TxPump());
+}
+
+void Nic::Send(Packet pkt) {
+  DMRPC_CHECK_EQ(pkt.src, node_) << "packet src must be the owning host";
+  DMRPC_CHECK_LT(pkt.dst, fabric_->num_nodes());
+  pkt.id = fabric_->NextPacketId();
+  stats_.tx_packets++;
+  stats_.tx_bytes += pkt.payload.size();
+  fabric_->Trace(TraceStage::kNicTx, pkt);
+  tx_queue_.Push(std::move(pkt));
+}
+
+void Nic::BindPort(Port port, sim::Channel<Packet>* inbox) {
+  auto [it, inserted] = listeners_.emplace(port, inbox);
+  DMRPC_CHECK(inserted) << "port " << port << " already bound on node "
+                        << node_;
+}
+
+void Nic::UnbindPort(Port port) { listeners_.erase(port); }
+
+void Nic::Deliver(Packet pkt) {
+  stats_.rx_packets++;
+  stats_.rx_bytes += pkt.payload.size();
+  auto it = listeners_.find(pkt.dst_port);
+  if (it == listeners_.end()) {
+    stats_.rx_dropped_no_listener++;
+    LOG_DEBUG << "node " << node_ << ": no listener on port " << pkt.dst_port;
+    return;
+  }
+  it->second->Push(std::move(pkt));
+}
+
+sim::Task<> Nic::TxPump() {
+  for (;;) {
+    Packet pkt = co_await tx_queue_.Pop();
+    // NIC processing + wire serialization at link rate.
+    TimeNs serialize =
+        TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+    co_await sim::Delay(cfg_.nic_overhead_ns + serialize);
+    fabric_->Trace(TraceStage::kOnWire, pkt);
+    fabric_->SendToSwitch(std::move(pkt));
+  }
+}
+
+}  // namespace dmrpc::net

@@ -1,0 +1,36 @@
+#ifndef DMRPC_NET_PACKET_H_
+#define DMRPC_NET_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dmrpc::net {
+
+/// Identifies a host (compute server, DM server, ...) on the fabric.
+using NodeId = uint32_t;
+
+/// UDP-style port identifying an endpoint within a host.
+using Port = uint16_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// A datagram on the simulated Ethernet fabric.
+///
+/// The payload carries real bytes: the RPC layer serializes message
+/// headers and argument data into it, so pass-by-value costs are incurred
+/// byte-for-byte exactly as on a real wire.
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Port src_port = 0;
+  Port dst_port = 0;
+  /// Monotonic per-fabric id for tracing and loss injection hooks.
+  uint64_t id = 0;
+  std::vector<uint8_t> payload;
+
+  size_t payload_size() const { return payload.size(); }
+};
+
+}  // namespace dmrpc::net
+
+#endif  // DMRPC_NET_PACKET_H_

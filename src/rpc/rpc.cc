@@ -1,0 +1,666 @@
+#include "rpc/rpc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmrpc::rpc {
+
+namespace {
+/// pkt_idx sentinel on a kCreditReturn marking "request in progress".
+constexpr uint16_t kProgressAckIdx = 0xffff;
+}  // namespace
+
+Rpc::Rpc(net::Fabric* fabric, net::NodeId node, net::Port port, RpcConfig cfg)
+    : sim_(fabric->simulation()),
+      fabric_(fabric),
+      node_(node),
+      port_(port),
+      cfg_(cfg) {
+  DMRPC_CHECK_GT(cfg_.credits, 0);
+  DMRPC_CHECK_GT(cfg_.session_slots, 0);
+  DMRPC_CHECK_GT(max_data_per_packet(), 0u);
+  fabric_->nic(node_)->BindPort(port_, &inbox_);
+  sim_->Spawn(Dispatch());
+  sim_->Spawn(RetransmitScanner());
+}
+
+Rpc::~Rpc() { fabric_->nic(node_)->UnbindPort(port_); }
+
+size_t Rpc::max_data_per_packet() const {
+  return fabric_->config().mtu_bytes - PacketHeader::kWireBytes;
+}
+
+void Rpc::RegisterHandler(ReqType req_type, Handler handler) {
+  DMRPC_CHECK(!handlers_[req_type]) << "handler " << int{req_type}
+                                    << " registered twice";
+  handlers_[req_type] = std::move(handler);
+}
+
+void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
+                     const PacketHeader& hdr, const uint8_t* frag,
+                     size_t frag_len) {
+  net::Packet pkt;
+  pkt.src = node_;
+  pkt.src_port = port_;
+  pkt.dst = dst;
+  pkt.dst_port = dst_port;
+  pkt.payload.reserve(PacketHeader::kWireBytes + frag_len);
+  hdr.EncodeTo(&pkt.payload);
+  if (frag_len > 0) {
+    pkt.payload.insert(pkt.payload.end(), frag, frag + frag_len);
+  }
+  stats_.tx_packets++;
+  if (meter_ != nullptr) {
+    meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
+  }
+  fabric_->nic(node_)->Send(std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// Session establishment
+// ---------------------------------------------------------------------------
+
+sim::Task<StatusOr<SessionId>> Rpc::Connect(net::NodeId remote,
+                                            net::Port remote_port) {
+  DMRPC_CHECK_LT(client_sessions_.size(), 65535u);
+  auto sess = std::make_unique<ClientSession>();
+  sess->remote = remote;
+  sess->remote_port = remote_port;
+  sess->connect_done = std::make_unique<sim::Completion<Status>>();
+  sess->slots.resize(cfg_.session_slots);
+  sess->slot_sem = std::make_unique<sim::Semaphore>(cfg_.session_slots);
+  sess->credits = std::make_unique<sim::Semaphore>(cfg_.credits);
+  SessionId id = static_cast<SessionId>(client_sessions_.size());
+  ClientSession* s = sess.get();
+  client_sessions_.push_back(std::move(sess));
+
+  ++pending_ops_;
+  KickScanner();
+  PacketHeader hdr;
+  hdr.msg_type = MsgType::kConnect;
+  hdr.session_id = id;  // sender-side id; establishes the mapping
+  s->last_connect_tx = sim_->Now();
+  SendPacket(remote, remote_port, hdr, nullptr, 0);
+
+  Status st = co_await s->connect_done->Wait();
+  if (!st.ok()) co_return st;
+  co_return id;
+}
+
+void Rpc::OnConnect(const net::Packet& pkt, const PacketHeader& hdr) {
+  auto key = std::make_tuple(pkt.src, pkt.src_port, hdr.session_id);
+  auto it = server_session_index_.find(key);
+  uint16_t index;
+  if (it != server_session_index_.end()) {
+    index = it->second;  // duplicate connect: resend the ack
+  } else {
+    DMRPC_CHECK_LT(server_sessions_.size(), 65535u);
+    auto sess = std::make_unique<ServerSession>();
+    sess->remote = pkt.src;
+    sess->remote_port = pkt.src_port;
+    sess->client_session_id = hdr.session_id;
+    sess->slots.resize(cfg_.session_slots);
+    index = static_cast<uint16_t>(server_sessions_.size());
+    server_sessions_.push_back(std::move(sess));
+    server_session_index_.emplace(key, index);
+  }
+  PacketHeader ack;
+  ack.msg_type = MsgType::kConnectAck;
+  ack.session_id = hdr.session_id;  // client-side id
+  ack.req_id = index;               // carries the server-side id
+  SendPacket(pkt.src, pkt.src_port, ack, nullptr, 0);
+}
+
+void Rpc::OnConnectAck(const PacketHeader& hdr) {
+  if (hdr.session_id >= client_sessions_.size()) {
+    stats_.stale_packets++;
+    return;
+  }
+  ClientSession& sess = *client_sessions_[hdr.session_id];
+  if (sess.connected) return;  // duplicate ack
+  sess.connected = true;
+  sess.remote_session_id = static_cast<uint16_t>(hdr.req_id);
+  --pending_ops_;
+  sess.connect_done->Set(Status::OK());
+}
+
+sim::Task<Status> Rpc::Disconnect(SessionId session) {
+  if (session >= client_sessions_.size()) {
+    co_return Status::InvalidArgument("no such session");
+  }
+  ClientSession& sess = *client_sessions_[session];
+  if (!sess.connected || sess.closing || sess.closed) {
+    co_return Status::InvalidArgument("session not connected");
+  }
+  for (const ClientSlot& slot : sess.slots) {
+    if (slot.busy) co_return Status::Aborted("session has outstanding calls");
+  }
+  sess.closing = true;
+  sess.disconnect_done = std::make_unique<sim::Completion<Status>>();
+  sess.connect_retries = 0;
+  ++pending_ops_;
+  KickScanner();
+  PacketHeader hdr;
+  hdr.msg_type = MsgType::kDisconnect;
+  hdr.session_id = sess.remote_session_id;
+  sess.last_connect_tx = sim_->Now();
+  SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+  Status st = co_await sess.disconnect_done->Wait();
+  co_return st;
+}
+
+void Rpc::OnDisconnect(const net::Packet& pkt, const PacketHeader& hdr) {
+  uint16_t index = hdr.session_id;
+  uint16_t client_id = 0;
+  net::NodeId remote = pkt.src;
+  net::Port remote_port = pkt.src_port;
+  if (index < server_sessions_.size() && server_sessions_[index] != nullptr) {
+    ServerSession& sess = *server_sessions_[index];
+    client_id = sess.client_session_id;
+    server_session_index_.erase(
+        std::make_tuple(sess.remote, sess.remote_port, client_id));
+    server_sessions_[index] = nullptr;
+  } else {
+    // Already removed (duplicate disconnect); we cannot recover the
+    // client id from our state, but the client encoded it in req_id.
+    client_id = static_cast<uint16_t>(hdr.req_id);
+  }
+  PacketHeader ack;
+  ack.msg_type = MsgType::kDisconnectAck;
+  ack.session_id = client_id;
+  SendPacket(remote, remote_port, ack, nullptr, 0);
+}
+
+void Rpc::OnDisconnectAck(const PacketHeader& hdr) {
+  if (hdr.session_id >= client_sessions_.size()) {
+    stats_.stale_packets++;
+    return;
+  }
+  ClientSession& sess = *client_sessions_[hdr.session_id];
+  if (!sess.closing || sess.closed) return;
+  sess.closed = true;
+  sess.closing = false;
+  --pending_ops_;
+  sess.disconnect_done->Set(Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Client request path
+// ---------------------------------------------------------------------------
+
+sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
+                                         MsgBuffer request) {
+  if (session >= client_sessions_.size()) {
+    co_return Status::InvalidArgument("no such session");
+  }
+  ClientSession& sess = *client_sessions_[session];
+  if (sess.closed || sess.closing) {
+    co_return Status::InvalidArgument("session closed");
+  }
+  if (request.size() > cfg_.max_msg_bytes) {
+    co_return Status::InvalidArgument("message too large");
+  }
+  if (!sess.connected) {
+    // Wait for the in-flight handshake driven by Connect().
+    Status st = co_await sess.connect_done->Wait();
+    if (!st.ok()) co_return st;
+  }
+
+  co_await sess.slot_sem->Acquire();
+  int slot_idx = -1;
+  for (size_t i = 0; i < sess.slots.size(); ++i) {
+    if (!sess.slots[i].busy) {
+      slot_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  DMRPC_CHECK_GE(slot_idx, 0) << "slot semaphore/flag mismatch";
+  ClientSlot& slot = sess.slots[slot_idx];
+
+  slot.busy = true;
+  slot.seq += 1;
+  slot.req_id = slot.seq * cfg_.session_slots + slot_idx;
+  slot.req_type = req_type;
+  slot.request = std::move(request);
+  slot.credits_consumed = 0;
+  slot.credits_returned = 0;
+  slot.retries = 0;
+  slot.resp_data.clear();
+  slot.resp_seen.clear();
+  slot.resp_pkts = 0;
+  slot.resp_total = 0;
+  slot.done = std::make_unique<sim::Completion<Status>>();
+
+  ++pending_ops_;
+  KickScanner();
+  stats_.requests_sent++;
+  co_await SendRequestPackets(session, slot_idx, /*is_retransmit=*/false);
+
+  Status st = co_await slot.done->Wait();
+  MsgBuffer response(std::move(slot.resp_data));
+  slot.resp_data.clear();
+  slot.request.Clear();
+  slot.busy = false;
+  sess.slot_sem->Release();
+  if (!st.ok()) co_return st;
+  co_return response;
+}
+
+sim::Task<> Rpc::SendRequestPackets(SessionId session_id, int slot_idx,
+                                    bool is_retransmit) {
+  ClientSession& sess = *client_sessions_[session_id];
+  ClientSlot& slot = sess.slots[slot_idx];
+  const uint64_t req_id = slot.req_id;
+  const size_t chunk = max_data_per_packet();
+  const size_t total_bytes = slot.request.size();
+  const uint16_t num_pkts = static_cast<uint16_t>(
+      std::max<size_t>(1, (total_bytes + chunk - 1) / chunk));
+
+  for (uint16_t i = 0; i < num_pkts; ++i) {
+    if (!is_retransmit) {
+      co_await sess.credits->Acquire();
+      // The request may have failed (timeout) while we waited for a
+      // credit; put the permit back and stop.
+      if (!slot.busy || slot.req_id != req_id) {
+        sess.credits->Release();
+        co_return;
+      }
+      slot.credits_consumed++;
+    } else if (!slot.busy || slot.req_id != req_id) {
+      co_return;
+    }
+    co_await sim::Delay(cfg_.tx_sw_ns);
+    if (!slot.busy || slot.req_id != req_id) co_return;
+
+    PacketHeader hdr;
+    hdr.msg_type = MsgType::kRequest;
+    hdr.req_type = slot.req_type;
+    hdr.session_id = sess.remote_session_id;
+    hdr.pkt_idx = i;
+    hdr.num_pkts = num_pkts;
+    hdr.req_id = req_id;
+    hdr.msg_size = static_cast<uint32_t>(total_bytes);
+    size_t off = static_cast<size_t>(i) * chunk;
+    size_t len = std::min(chunk, total_bytes - off);
+    if (total_bytes == 0) len = 0;
+    slot.last_tx = sim_->Now();
+    SendPacket(sess.remote, sess.remote_port, hdr,
+               slot.request.data() + off, len);
+  }
+}
+
+void Rpc::OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
+                           size_t frag_len) {
+  if (hdr.session_id >= client_sessions_.size()) {
+    stats_.stale_packets++;
+    return;
+  }
+  ClientSession& sess = *client_sessions_[hdr.session_id];
+  int slot_idx = static_cast<int>(hdr.req_id % cfg_.session_slots);
+  ClientSlot& slot = sess.slots[slot_idx];
+  if (!slot.busy || slot.req_id != hdr.req_id) {
+    stats_.stale_packets++;
+    return;
+  }
+  if (slot.resp_total > 0 && slot.resp_pkts == slot.resp_total) {
+    stats_.stale_packets++;  // duplicate after completion
+    return;
+  }
+  if (slot.resp_total == 0) {
+    // First response packet: the final request packet is now implicitly
+    // acknowledged, returning one credit.
+    slot.resp_total = hdr.num_pkts;
+    slot.resp_data.assign(hdr.msg_size, 0);
+    slot.resp_seen.assign(hdr.num_pkts, false);
+    if (slot.credits_returned < slot.credits_consumed) {
+      slot.credits_returned++;
+      sess.credits->Release();
+    }
+  }
+  if (hdr.pkt_idx >= slot.resp_total || slot.resp_seen[hdr.pkt_idx]) {
+    stats_.stale_packets++;
+    return;
+  }
+  size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
+  DMRPC_CHECK_LE(off + frag_len, slot.resp_data.size());
+  std::copy(frag, frag + frag_len, slot.resp_data.begin() + off);
+  slot.resp_seen[hdr.pkt_idx] = true;
+  slot.resp_pkts++;
+  if (slot.resp_pkts == slot.resp_total) {
+    stats_.responses_received++;
+    FinishSlot(sess, slot, Status::OK());
+  }
+}
+
+void Rpc::OnCreditReturn(const PacketHeader& hdr) {
+  if (hdr.session_id >= client_sessions_.size()) {
+    stats_.stale_packets++;
+    return;
+  }
+  ClientSession& sess = *client_sessions_[hdr.session_id];
+  int slot_idx = static_cast<int>(hdr.req_id % cfg_.session_slots);
+  ClientSlot& slot = sess.slots[slot_idx];
+  if (!slot.busy || slot.req_id != hdr.req_id) {
+    stats_.stale_packets++;
+    return;
+  }
+  if (hdr.pkt_idx == kProgressAckIdx) {
+    // The server is alive and still executing: reset the retry budget.
+    slot.retries = 0;
+    slot.last_tx = sim_->Now();
+    return;
+  }
+  if (slot.credits_returned < slot.credits_consumed) {
+    slot.credits_returned++;
+    sess.credits->Release();
+  }
+}
+
+void Rpc::FinishSlot(ClientSession& sess, ClientSlot& slot, Status status) {
+  // Reconcile credits lost to dropped CR packets.
+  while (slot.credits_returned < slot.credits_consumed) {
+    slot.credits_returned++;
+    sess.credits->Release();
+  }
+  --pending_ops_;
+  slot.done->Set(std::move(status));
+  // The slot stays busy until the owning Call() drains the response and
+  // releases the slot semaphore.
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission
+// ---------------------------------------------------------------------------
+
+void Rpc::KickScanner() {
+  if (!scanner_active_) {
+    scanner_active_ = true;
+    scanner_wake_.Push(true);
+  }
+}
+
+sim::Task<> Rpc::RetransmitScanner() {
+  for (;;) {
+    if (pending_ops_ == 0) {
+      scanner_active_ = false;
+      (void)co_await scanner_wake_.Pop();
+      scanner_active_ = true;
+      continue;
+    }
+    co_await sim::Delay(std::max<TimeNs>(1, cfg_.rto_ns / 2));
+    TimeNs now = sim_->Now();
+    for (size_t si = 0; si < client_sessions_.size(); ++si) {
+      ClientSession& sess = *client_sessions_[si];
+      // Pending handshake.
+      if (!sess.connected && !sess.closed && sess.connect_done != nullptr &&
+          !sess.connect_done->ready() &&
+          now - sess.last_connect_tx >= cfg_.rto_ns) {
+        if (sess.connect_retries >= cfg_.max_retries) {
+          stats_.timeouts++;
+          sess.closed = true;
+          --pending_ops_;
+          sess.connect_done->Set(Status::TimedOut("connect timed out"));
+          continue;
+        }
+        sess.connect_retries++;
+        stats_.retransmits++;
+        PacketHeader hdr;
+        hdr.msg_type = MsgType::kConnect;
+        hdr.session_id = static_cast<uint16_t>(si);
+        sess.last_connect_tx = now;
+        SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+        continue;
+      }
+      // Pending teardown.
+      if (sess.closing && sess.disconnect_done != nullptr &&
+          !sess.disconnect_done->ready() &&
+          now - sess.last_connect_tx >= cfg_.rto_ns) {
+        if (sess.connect_retries >= cfg_.max_retries) {
+          stats_.timeouts++;
+          sess.closed = true;
+          sess.closing = false;
+          --pending_ops_;
+          sess.disconnect_done->Set(Status::TimedOut("disconnect timed out"));
+          continue;
+        }
+        sess.connect_retries++;
+        stats_.retransmits++;
+        PacketHeader hdr;
+        hdr.msg_type = MsgType::kDisconnect;
+        hdr.session_id = sess.remote_session_id;
+        hdr.req_id = si;  // lets the server ack even if it lost state
+        sess.last_connect_tx = now;
+        SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+        continue;
+      }
+      if (!sess.connected) continue;
+      // In-flight requests.
+      for (size_t k = 0; k < sess.slots.size(); ++k) {
+        ClientSlot& slot = sess.slots[k];
+        if (!slot.busy || slot.done == nullptr || slot.done->ready()) {
+          continue;
+        }
+        if (now - slot.last_tx < cfg_.rto_ns) continue;
+        if (slot.retries >= cfg_.max_retries) {
+          stats_.timeouts++;
+          FinishSlot(sess, slot, Status::TimedOut("request timed out"));
+          continue;
+        }
+        slot.retries++;
+        stats_.retransmits++;
+        slot.last_tx = now;
+        sim_->Spawn(SendRequestPackets(static_cast<SessionId>(si),
+                                       static_cast<int>(k),
+                                       /*is_retransmit=*/true));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server request path
+// ---------------------------------------------------------------------------
+
+void Rpc::SendCreditReturn(const ServerSession& sess, uint64_t req_id,
+                           uint16_t pkt_idx) {
+  PacketHeader hdr;
+  hdr.msg_type = MsgType::kCreditReturn;
+  hdr.session_id = sess.client_session_id;
+  hdr.req_id = req_id;
+  hdr.pkt_idx = pkt_idx;
+  SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+}
+
+void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
+  if (hdr.session_id >= server_sessions_.size() ||
+      server_sessions_[hdr.session_id] == nullptr) {
+    stats_.stale_packets++;
+    return;
+  }
+  uint16_t server_session_id = hdr.session_id;
+  ServerSession& sess = *server_sessions_[server_session_id];
+  int slot_idx = static_cast<int>(hdr.req_id % cfg_.session_slots);
+  ServerSlot& slot = sess.slots[slot_idx];
+
+  if (hdr.req_id < slot.cur_req_id) {
+    stats_.stale_packets++;
+    return;
+  }
+  const bool is_final_pkt = (hdr.pkt_idx + 1 == hdr.num_pkts);
+  if (hdr.req_id == slot.cur_req_id && slot.cur_req_id != 0) {
+    // Duplicate traffic for the current request.
+    if (!is_final_pkt) SendCreditReturn(sess, hdr.req_id, hdr.pkt_idx);
+    if (slot.have_response && is_final_pkt) {
+      stats_.duplicate_requests++;
+      sim_->Spawn(SendResponse(server_session_id, slot_idx, hdr.req_id,
+                               slot.req_type));
+      return;
+    }
+    if (slot.in_progress && is_final_pkt &&
+        (hdr.pkt_idx >= slot.req_total || slot.req_seen[hdr.pkt_idx])) {
+      // Retransmitted request while the handler is still running: tell
+      // the client we are alive so it keeps waiting instead of failing
+      // after max_retries (long-running handlers are legitimate).
+      stats_.duplicate_requests++;
+      SendCreditReturn(sess, hdr.req_id, kProgressAckIdx);
+      return;
+    }
+    if (slot.in_progress && hdr.pkt_idx < slot.req_total &&
+        !slot.req_seen[hdr.pkt_idx]) {
+      // A fragment we genuinely had not received (retransmit after loss).
+      size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
+      size_t len = pkt.payload.size() - PacketHeader::kWireBytes;
+      std::copy(pkt.payload.begin() + PacketHeader::kWireBytes,
+                pkt.payload.end(), slot.req_data.begin() + off);
+      slot.req_seen[hdr.pkt_idx] = true;
+      slot.req_pkts++;
+      (void)off;
+      (void)len;
+      if (slot.req_pkts == slot.req_total) {
+        MsgBuffer req(std::move(slot.req_data));
+        slot.req_data.clear();
+        sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
+                               slot.req_type, std::move(req)));
+      }
+    }
+    return;
+  }
+
+  // A new request on this slot.
+  slot.cur_req_id = hdr.req_id;
+  slot.in_progress = true;
+  slot.have_response = false;
+  slot.cached_response.Clear();
+  slot.req_type = hdr.req_type;
+  slot.req_data.assign(hdr.msg_size, 0);
+  slot.req_seen.assign(hdr.num_pkts, false);
+  slot.req_pkts = 0;
+  slot.req_total = hdr.num_pkts;
+
+  size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
+  size_t frag_len = pkt.payload.size() - PacketHeader::kWireBytes;
+  DMRPC_CHECK_LE(off + frag_len, slot.req_data.size());
+  std::copy(pkt.payload.begin() + PacketHeader::kWireBytes,
+            pkt.payload.end(), slot.req_data.begin() + off);
+  slot.req_seen[hdr.pkt_idx] = true;
+  slot.req_pkts++;
+  if (!is_final_pkt) SendCreditReturn(sess, hdr.req_id, hdr.pkt_idx);
+  if (slot.req_pkts == slot.req_total) {
+    MsgBuffer req(std::move(slot.req_data));
+    slot.req_data.clear();
+    sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
+                           slot.req_type, std::move(req)));
+  }
+}
+
+sim::Task<> Rpc::RunHandler(uint16_t server_session_id, int slot_idx,
+                            uint64_t req_id, ReqType req_type,
+                            MsgBuffer req) {
+  DMRPC_CHECK(handlers_[req_type]) << "no handler for req_type "
+                                   << int{req_type};
+  ServerSession* sess = server_sessions_[server_session_id].get();
+  ReqContext ctx;
+  ctx.peer = sess->remote;
+  ctx.peer_port = sess->remote_port;
+  ctx.req_type = req_type;
+  stats_.requests_handled++;
+
+  MsgBuffer resp = co_await handlers_[req_type](ctx, std::move(req));
+
+  // The session may have been torn down or the slot reused while the
+  // handler ran.
+  if (server_sessions_[server_session_id] == nullptr) co_return;
+  ServerSlot& slot = server_sessions_[server_session_id]->slots[slot_idx];
+  if (slot.cur_req_id != req_id) co_return;
+  slot.cached_response = std::move(resp);
+  slot.have_response = true;
+  slot.in_progress = false;
+  co_await SendResponse(server_session_id, slot_idx, req_id, req_type);
+}
+
+sim::Task<> Rpc::SendResponse(uint16_t server_session_id, int slot_idx,
+                              uint64_t req_id, ReqType req_type) {
+  const size_t chunk = max_data_per_packet();
+  for (uint16_t i = 0;; ++i) {
+    if (server_sessions_[server_session_id] == nullptr) co_return;
+    ServerSession& sess = *server_sessions_[server_session_id];
+    ServerSlot& slot = sess.slots[slot_idx];
+    if (slot.cur_req_id != req_id || !slot.have_response) co_return;
+    const size_t total = slot.cached_response.size();
+    const uint16_t num_pkts =
+        static_cast<uint16_t>(std::max<size_t>(1, (total + chunk - 1) / chunk));
+    if (i >= num_pkts) co_return;
+
+    co_await sim::Delay(cfg_.tx_sw_ns);
+    // Re-validate after the suspension.
+    if (server_sessions_[server_session_id] == nullptr) co_return;
+    ServerSession& sess2 = *server_sessions_[server_session_id];
+    ServerSlot& slot2 = sess2.slots[slot_idx];
+    if (slot2.cur_req_id != req_id || !slot2.have_response) co_return;
+
+    PacketHeader hdr;
+    hdr.msg_type = MsgType::kResponse;
+    hdr.req_type = req_type;
+    hdr.session_id = sess2.client_session_id;
+    hdr.pkt_idx = i;
+    hdr.num_pkts = num_pkts;
+    hdr.req_id = req_id;
+    hdr.msg_size = static_cast<uint32_t>(total);
+    size_t off = static_cast<size_t>(i) * chunk;
+    size_t len = total == 0 ? 0 : std::min(chunk, total - off);
+    SendPacket(sess2.remote, sess2.remote_port, hdr,
+               slot2.cached_response.data() + off, len);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+sim::Task<> Rpc::Dispatch() {
+  for (;;) {
+    net::Packet pkt = co_await inbox_.Pop();
+    stats_.rx_packets++;
+    if (meter_ != nullptr) {
+      meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
+    }
+    co_await sim::Delay(cfg_.rx_sw_ns);
+    HandlePacket(std::move(pkt));
+  }
+}
+
+void Rpc::HandlePacket(net::Packet pkt) {
+  PacketHeader hdr;
+  if (!hdr.DecodeFrom(pkt.payload.data(), pkt.payload.size())) {
+    LOG_WARN << "node " << node_ << ": malformed packet dropped";
+    return;
+  }
+  switch (hdr.msg_type) {
+    case MsgType::kConnect:
+      OnConnect(pkt, hdr);
+      break;
+    case MsgType::kConnectAck:
+      OnConnectAck(hdr);
+      break;
+    case MsgType::kRequest:
+      OnRequestPacket(pkt, hdr);
+      break;
+    case MsgType::kResponse:
+      OnResponsePacket(hdr, pkt.payload.data() + PacketHeader::kWireBytes,
+                       pkt.payload.size() - PacketHeader::kWireBytes);
+      break;
+    case MsgType::kCreditReturn:
+      OnCreditReturn(hdr);
+      break;
+    case MsgType::kDisconnect:
+      OnDisconnect(pkt, hdr);
+      break;
+    case MsgType::kDisconnectAck:
+      OnDisconnectAck(hdr);
+      break;
+  }
+}
+
+}  // namespace dmrpc::rpc

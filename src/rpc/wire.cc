@@ -1,0 +1,50 @@
+#include "rpc/wire.h"
+
+namespace dmrpc::rpc {
+
+namespace {
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  size_t old = out->size();
+  out->resize(old + sizeof(T));
+  std::memcpy(out->data() + old, &v, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* data, size_t* pos) {
+  T v;
+  std::memcpy(&v, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void PacketHeader::EncodeTo(std::vector<uint8_t>* out) const {
+  Put<uint16_t>(out, magic);
+  Put<uint8_t>(out, static_cast<uint8_t>(msg_type));
+  Put<uint8_t>(out, req_type);
+  Put<uint16_t>(out, session_id);
+  Put<uint16_t>(out, pkt_idx);
+  Put<uint16_t>(out, num_pkts);
+  Put<uint64_t>(out, req_id);
+  Put<uint32_t>(out, msg_size);
+}
+
+bool PacketHeader::DecodeFrom(const uint8_t* data, size_t len) {
+  if (len < kWireBytes) return false;
+  size_t pos = 0;
+  magic = Get<uint16_t>(data, &pos);
+  if (magic != kMagic) return false;
+  msg_type = static_cast<MsgType>(Get<uint8_t>(data, &pos));
+  req_type = Get<uint8_t>(data, &pos);
+  session_id = Get<uint16_t>(data, &pos);
+  pkt_idx = Get<uint16_t>(data, &pos);
+  num_pkts = Get<uint16_t>(data, &pos);
+  req_id = Get<uint64_t>(data, &pos);
+  msg_size = Get<uint32_t>(data, &pos);
+  return true;
+}
+
+}  // namespace dmrpc::rpc

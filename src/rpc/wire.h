@@ -1,0 +1,134 @@
+#ifndef DMRPC_RPC_WIRE_H_
+#define DMRPC_RPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dmrpc::rpc {
+
+/// Packet roles within the RPC protocol (eRPC-style).
+enum class MsgType : uint8_t {
+  kConnect = 1,      // session handshake request
+  kConnectAck = 2,   // session handshake reply
+  kRequest = 3,      // request message fragment
+  kResponse = 4,     // response message fragment
+  kCreditReturn = 5, // explicit credit return for a non-final request pkt
+  kDisconnect = 6,
+  kDisconnectAck = 7,
+};
+
+/// Fixed header prepended to every RPC packet on the wire.
+struct PacketHeader {
+  static constexpr uint16_t kMagic = 0xDA7A;
+  static constexpr size_t kWireBytes = 22;
+
+  uint16_t magic = kMagic;
+  MsgType msg_type = MsgType::kRequest;
+  uint8_t req_type = 0;      // user handler id
+  uint16_t session_id = 0;   // receiver-side session id (sender-side in
+                             // kConnect, which establishes the mapping)
+  uint16_t pkt_idx = 0;      // fragment index within the message
+  uint16_t num_pkts = 1;     // total fragments in the message
+  uint64_t req_id = 0;       // per-session monotonically increasing
+  uint32_t msg_size = 0;     // total message payload bytes
+
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  /// Returns false if `data` is too short or the magic mismatches.
+  bool DecodeFrom(const uint8_t* data, size_t len);
+};
+
+/// An RPC message payload: a contiguous, owned byte buffer with
+/// append/read helpers for fixed-width little-endian primitives. This is
+/// what request arguments and response values are serialized into, so
+/// every pass-by-value byte is physically present in the buffer.
+class MsgBuffer {
+ public:
+  MsgBuffer() = default;
+  explicit MsgBuffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  /// A zero-filled buffer of the given size.
+  explicit MsgBuffer(size_t size) : bytes_(size, 0) {}
+
+  MsgBuffer(const MsgBuffer&) = default;
+  MsgBuffer& operator=(const MsgBuffer&) = default;
+  MsgBuffer(MsgBuffer&&) = default;
+  MsgBuffer& operator=(MsgBuffer&&) = default;
+
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t>&& TakeBytes() && { return std::move(bytes_); }
+
+  void Clear() {
+    bytes_.clear();
+    read_pos_ = 0;
+  }
+
+  // -- Append API (serialization) --
+
+  template <typename T>
+  void Append(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t old = bytes_.size();
+    bytes_.resize(old + sizeof(T));
+    std::memcpy(bytes_.data() + old, &value, sizeof(T));
+  }
+
+  void AppendBytes(const void* src, size_t len) {
+    size_t old = bytes_.size();
+    bytes_.resize(old + len);
+    if (len > 0) std::memcpy(bytes_.data() + old, src, len);
+  }
+
+  void AppendString(const std::string& s) {
+    Append<uint32_t>(static_cast<uint32_t>(s.size()));
+    AppendBytes(s.data(), s.size());
+  }
+
+  // -- Read API (deserialization); reads advance a cursor --
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DMRPC_CHECK_LE(read_pos_ + sizeof(T), bytes_.size())
+        << "MsgBuffer underflow";
+    T value;
+    std::memcpy(&value, bytes_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return value;
+  }
+
+  void ReadBytes(void* dst, size_t len) {
+    DMRPC_CHECK_LE(read_pos_ + len, bytes_.size()) << "MsgBuffer underflow";
+    if (len > 0) std::memcpy(dst, bytes_.data() + read_pos_, len);
+    read_pos_ += len;
+  }
+
+  std::string ReadString() {
+    uint32_t len = Read<uint32_t>();
+    std::string s(len, '\0');
+    ReadBytes(s.data(), len);
+    return s;
+  }
+
+  /// Bytes left to read.
+  size_t remaining() const { return bytes_.size() - read_pos_; }
+  size_t read_pos() const { return read_pos_; }
+  void SeekTo(size_t pos) {
+    DMRPC_CHECK_LE(pos, bytes_.size());
+    read_pos_ = pos;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t read_pos_ = 0;
+};
+
+}  // namespace dmrpc::rpc
+
+#endif  // DMRPC_RPC_WIRE_H_

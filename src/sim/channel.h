@@ -1,0 +1,85 @@
+#ifndef DMRPC_SIM_CHANNEL_H_
+#define DMRPC_SIM_CHANNEL_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::sim {
+
+/// Unbounded multi-producer multi-consumer FIFO queue with awaitable pop.
+///
+/// Push never blocks. When a consumer is waiting, Push hands the value
+/// directly to the oldest waiter and schedules its resume at the current
+/// instant (FIFO through the event queue, keeping runs deterministic).
+/// Channels model NIC queues, switch ports, and microservice inboxes.
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value, waking the oldest waiting consumer if any.
+  void Push(T value) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      w.slot->emplace(std::move(value));
+      Simulation* sim = Simulation::Current();
+      DMRPC_CHECK(sim != nullptr) << "Channel::Push outside a simulation";
+      sim->ScheduleHandle(sim->Now(), w.handle);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// co_await ch.Pop(): suspends until a value is available.
+  auto Pop() {
+    struct Awaiter {
+      Channel* ch;
+      std::optional<T> slot;
+
+      bool await_ready() {
+        if (ch->items_.empty()) return false;
+        slot.emplace(std::move(ch->items_.front()));
+        ch->items_.pop_front();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->waiters_.push_back(Waiter{h, &slot});
+      }
+      T await_resume() { return std::move(*slot); }
+    };
+    return Awaiter{this, std::nullopt};
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace dmrpc::sim
+
+#endif  // DMRPC_SIM_CHANNEL_H_

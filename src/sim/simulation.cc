@@ -1,0 +1,112 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace dmrpc::sim {
+
+namespace {
+thread_local Simulation* g_current = nullptr;
+
+/// RAII guard setting the thread-local current simulation.
+class CurrentGuard {
+ public:
+  explicit CurrentGuard(Simulation* sim) : prev_(g_current) {
+    g_current = sim;
+  }
+  ~CurrentGuard() { g_current = prev_; }
+
+ private:
+  Simulation* prev_;
+};
+}  // namespace
+
+namespace internal {
+void NotifyDetachedDone(Simulation* sim, std::coroutine_handle<> h) {
+  --sim->live_tasks_;
+  sim->detached_roots_.erase(h.address());
+  h.destroy();
+}
+}  // namespace internal
+
+Simulation::Simulation(uint64_t seed) : rng_(seed, /*seq=*/0xda3e39cb94b95bdbULL) {}
+
+Simulation::~Simulation() {
+  // Drop pending events without running them, then destroy live detached
+  // root frames. Frames own their awaited children (via the Task temporary
+  // in the parent's co_await expression), so destroying roots reclaims
+  // every suspended frame exactly once. Queue handles are never destroyed
+  // directly: they point into subtrees owned by the roots (or by Task
+  // objects still held in user code).
+  while (!queue_.empty()) queue_.pop();
+  for (void* addr : detached_roots_) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+Simulation* Simulation::Current() { return g_current; }
+
+void Simulation::Spawn(Task<> task) {
+  DMRPC_CHECK(task.valid()) << "spawning an empty task";
+  Task<>::Handle h = task.Release();
+  h.promise().detached_owner = this;
+  ++live_tasks_;
+  detached_roots_.insert(h.address());
+  ScheduleHandle(now_, h);
+}
+
+void Simulation::At(TimeNs t, std::function<void()> fn) {
+  DMRPC_CHECK_GE(t, now_) << "scheduling into the past";
+  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+void Simulation::After(TimeNs delay, std::function<void()> fn) {
+  DMRPC_CHECK_GE(delay, 0);
+  At(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleHandle(TimeNs t, std::coroutine_handle<> h) {
+  DMRPC_CHECK_GE(t, now_) << "scheduling into the past";
+  queue_.push(Event{t, next_seq_++, h, {}});
+}
+
+void Simulation::Dispatch(Event& ev) {
+  now_ = ev.t;
+  ++executed_;
+  CurrentGuard guard(this);
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  Dispatch(ev);
+  return true;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(TimeNs deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  Simulation* sim = Simulation::Current();
+  DMRPC_CHECK(sim != nullptr) << "Delay awaited outside a simulation";
+  TimeNs d = delay < 0 ? 0 : delay;
+  sim->ScheduleHandle(sim->Now() + d, h);
+}
+
+}  // namespace dmrpc::sim

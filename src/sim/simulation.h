@@ -1,0 +1,132 @@
+#ifndef DMRPC_SIM_SIMULATION_H_
+#define DMRPC_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace dmrpc::sim {
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// All simulated activity is driven by a virtual clock in nanoseconds.
+/// Events scheduled for the same instant execute in schedule order (FIFO),
+/// which together with seeded randomness makes every run bit-reproducible.
+///
+/// Usage:
+///   Simulation simr(/*seed=*/42);
+///   sim.Spawn(MyProcess(...));        // detached coroutine process
+///   sim.RunFor(1 * kSecond);          // advance virtual time
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  TimeNs Now() const { return now_; }
+
+  /// The simulation owning the coroutine currently executing. Awaitables
+  /// use this to find their scheduler. Only valid while a simulation is
+  /// stepping or within Spawn.
+  static Simulation* Current();
+
+  /// Starts a detached root coroutine at the current virtual time. The
+  /// frame is owned by the scheduler and destroyed when it completes.
+  void Spawn(Task<> task);
+
+  /// Schedules `fn` at absolute virtual time `t` (>= Now()).
+  void At(TimeNs t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  void After(TimeNs delay, std::function<void()> fn);
+
+  /// Schedules a coroutine resume at absolute time `t`. Used by awaitables.
+  void ScheduleHandle(TimeNs t, std::coroutine_handle<> h);
+
+  /// Executes the single earliest event. Returns false when idle.
+  bool Step();
+
+  /// Time of the earliest pending event, or -1 when the queue is empty.
+  TimeNs NextEventTime() const {
+    return queue_.empty() ? -1 : queue_.top().t;
+  }
+
+  /// Runs until the event queue drains.
+  void Run();
+
+  /// Runs until the clock reaches `deadline` (events at later times remain
+  /// queued; the clock is advanced to `deadline` even if the queue drains
+  /// first).
+  void RunUntil(TimeNs deadline);
+
+  /// Runs for `duration` of virtual time from Now().
+  void RunFor(TimeNs duration) { RunUntil(now_ + duration); }
+
+  /// Number of detached tasks spawned and not yet finished.
+  int64_t live_task_count() const { return live_tasks_; }
+
+  /// Total events executed (diagnostics / determinism checks).
+  uint64_t executed_events() const { return executed_; }
+
+  /// Simulation-wide deterministic random source.
+  Rng& rng() { return rng_; }
+
+ private:
+  friend void internal::NotifyDetachedDone(Simulation* sim,
+                                           std::coroutine_handle<> h);
+
+  struct Event {
+    TimeNs t;
+    uint64_t seq;
+    std::coroutine_handle<> handle;  // resumed if set, else fn runs
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Frames of live detached root tasks; destroying a root transitively
+  /// destroys its awaited children, so teardown destroys exactly these.
+  std::unordered_set<void*> detached_roots_;
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  int64_t live_tasks_ = 0;
+  Rng rng_;
+};
+
+/// Awaitable that resumes the current coroutine after `delay` virtual ns.
+/// A zero delay still yields through the scheduler (FIFO fairness).
+struct DelayAwaiter {
+  TimeNs delay;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const;
+  void await_resume() const noexcept {}
+};
+
+/// co_await Delay(ns): suspend the current task for `ns` virtual time.
+inline DelayAwaiter Delay(TimeNs ns) { return DelayAwaiter{ns}; }
+
+/// co_await Yield(): reschedule at the current instant, letting other
+/// ready events run first.
+inline DelayAwaiter Yield() { return DelayAwaiter{0}; }
+
+}  // namespace dmrpc::sim
+
+#endif  // DMRPC_SIM_SIMULATION_H_

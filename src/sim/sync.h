@@ -1,0 +1,170 @@
+#ifndef DMRPC_SIM_SYNC_H_
+#define DMRPC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::sim {
+
+/// One-shot completion carrying a value of type T: the simulated
+/// equivalent of a future. One producer calls Set exactly once; one or
+/// more consumers co_await Wait(). Consumers awaiting after Set resume
+/// immediately. Used for RPC response delivery.
+template <typename T>
+class Completion {
+ public:
+  Completion() = default;
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  /// Publishes the value and wakes all waiters.
+  void Set(T value) {
+    DMRPC_CHECK(!value_.has_value()) << "Completion set twice";
+    value_.emplace(std::move(value));
+    Simulation* sim = Simulation::Current();
+    DMRPC_CHECK(sim != nullptr) << "Completion::Set outside a simulation";
+    for (std::coroutine_handle<> h : waiters_) {
+      sim->ScheduleHandle(sim->Now(), h);
+    }
+    waiters_.clear();
+  }
+
+  bool ready() const { return value_.has_value(); }
+
+  /// co_await c.Wait(): suspends until Set is called; returns a reference
+  /// to the stored value (the Completion must outlive the use).
+  auto Wait() {
+    struct Awaiter {
+      Completion* c;
+      bool await_ready() const { return c->value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        c->waiters_.push_back(h);
+      }
+      T& await_resume() const { return *c->value_; }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  std::optional<T> value_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counts outstanding sub-tasks; Wait() resumes when the count reaches
+/// zero. The fan-out primitive for parallel downstream RPCs.
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void Add(int n = 1) { count_ += n; }
+
+  void Done() {
+    DMRPC_CHECK_GT(count_, 0) << "WaitGroup::Done without Add";
+    if (--count_ == 0) {
+      Simulation* sim = Simulation::Current();
+      DMRPC_CHECK(sim != nullptr);
+      for (std::coroutine_handle<> h : waiters_) {
+        sim->ScheduleHandle(sim->Now(), h);
+      }
+      waiters_.clear();
+    }
+  }
+
+  int count() const { return count_; }
+
+  /// co_await wg.Wait(): suspends until the count drops to zero.
+  auto Wait() {
+    struct Awaiter {
+      WaitGroup* wg;
+      bool await_ready() const { return wg->count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        wg->waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  int count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore for modeling limited resources (CPU cores, NIC DMA
+/// engines). Acquire waits FIFO; Release wakes the oldest waiter.
+class Semaphore {
+ public:
+  explicit Semaphore(int permits) : permits_(permits) {
+    DMRPC_CHECK_GE(permits, 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// co_await s.Acquire(): takes one permit, waiting if none available.
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() {
+        if (s->permits_ > 0) {
+          --s->permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s->waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Returns one permit; hands it directly to the oldest waiter if any.
+  void Release() {
+    if (!waiters_.empty()) {
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      Simulation* sim = Simulation::Current();
+      DMRPC_CHECK(sim != nullptr);
+      sim->ScheduleHandle(sim->Now(), h);
+      return;  // permit transfers to the waiter
+    }
+    ++permits_;
+  }
+
+  int available() const { return permits_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  int permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII permit holder usable inside coroutines:
+///   co_await sem.Acquire(); ... sem.Release();
+/// or via the helper Task below when scoped semantics are clearer.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore* s) : s_(s) {}
+  SemaphoreGuard(SemaphoreGuard&& o) noexcept : s_(std::exchange(o.s_, nullptr)) {}
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  ~SemaphoreGuard() {
+    if (s_ != nullptr) s_->Release();
+  }
+
+ private:
+  Semaphore* s_;
+};
+
+}  // namespace dmrpc::sim
+
+#endif  // DMRPC_SIM_SYNC_H_

@@ -1,0 +1,176 @@
+#ifndef DMRPC_SIM_TASK_H_
+#define DMRPC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace dmrpc::sim {
+
+class Simulation;
+
+namespace internal {
+
+/// Shared bookkeeping for all task promises.
+struct PromiseBase {
+  /// Coroutine to resume when this task finishes (the awaiting parent).
+  std::coroutine_handle<> continuation;
+  /// Set when the task was detached via Simulation::Spawn: the frame
+  /// self-destructs at final suspend and notifies the owner.
+  Simulation* detached_owner = nullptr;
+};
+
+/// Unregisters and destroys a finished detached root frame. Destroying a
+/// coroutine from within its own final awaiter's await_suspend is
+/// well-defined: the coroutine is fully suspended before await_suspend runs.
+void NotifyDetachedDone(Simulation* sim, std::coroutine_handle<> h);
+
+/// Final awaiter: transfers control to the awaiting parent, or (for
+/// detached tasks) destroys the frame.
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    PromiseBase& p = h.promise();
+    std::coroutine_handle<> cont = p.continuation;
+    Simulation* owner = p.detached_owner;
+    if (cont) return cont;
+    if (owner != nullptr) NotifyDetachedDone(owner, h);
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+}  // namespace internal
+
+/// A lazily-started coroutine task producing a value of type T (or void).
+///
+/// Tasks are the unit of concurrency in the simulator: every simulated
+/// process -- a microservice event loop, a NIC TX engine, an RPC client
+/// call -- is a Task. A task starts running when first awaited, or when
+/// handed to Simulation::Spawn (detached root task). Awaiting a task uses
+/// symmetric transfer, so arbitrarily deep microservice call chains do not
+/// grow the native stack.
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    internal::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Awaiting starts the child and suspends the parent until it returns.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() { return std::move(*h.promise().value); }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(Handle h) : h_(h) {}
+
+  /// Releases ownership of the frame (used by Simulation::Spawn).
+  Handle Release() { return std::exchange(h_, {}); }
+
+  Handle h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    internal::FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(Handle h) : h_(h) {}
+  Handle Release() { return std::exchange(h_, {}); }
+
+  Handle h_;
+};
+
+}  // namespace dmrpc::sim
+
+#endif  // DMRPC_SIM_TASK_H_

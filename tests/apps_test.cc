@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/block_storage.h"
+#include "apps/image_pipeline.h"
+#include "apps/load_balancer.h"
+#include "apps/nested_chain.h"
+#include "apps/socialnet.h"
+#include "msvc/cluster.h"
+#include "msvc/workload.h"
+
+namespace dmrpc::apps {
+namespace {
+
+using msvc::Backend;
+using msvc::Cluster;
+using msvc::ClusterConfig;
+using msvc::ServiceEndpoint;
+
+std::string BackendTestName(const ::testing::TestParamInfo<Backend>& info) {
+  switch (info.param) {
+    case Backend::kErpc:
+      return "Erpc";
+    case Backend::kDmNet:
+      return "DmNet";
+    case Backend::kDmCxl:
+      return "DmCxl";
+  }
+  return "Unknown";
+}
+
+class AppsBackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  std::unique_ptr<Cluster> MakeCluster(sim::Simulation* sim,
+                                       uint32_t num_nodes = 10) {
+    ClusterConfig cfg;
+    cfg.backend = GetParam();
+    cfg.num_nodes = num_nodes;
+    cfg.dm_frames = 1u << 14;
+    return std::make_unique<Cluster>(sim, cfg);
+  }
+};
+
+TEST_P(AppsBackendTest, NestedChainDeliversCorrectSum) {
+  sim::Simulation sim(71);
+  auto cluster = MakeCluster(&sim);
+  NestedChainApp app(cluster.get(), /*chain_len=*/5, {1, 2, 3, 4, 5});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      auto r = co_await app.DoRequest(client, 4096);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+      if (*r != 4096) {
+        result = Status::Internal("wrong byte count");
+        co_return;
+      }
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(5 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+}
+
+TEST_P(AppsBackendTest, NestedChainLengthOneWorks) {
+  sim::Simulation sim(72);
+  auto cluster = MakeCluster(&sim);
+  NestedChainApp app(cluster.get(), 1, {1});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  std::optional<bool> ok;
+  auto driver = [&]() -> sim::Task<> {
+    auto r = co_await app.DoRequest(client, 16384);
+    ok = r.ok();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(5 * kSecond);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_P(AppsBackendTest, LoadBalancerSpreadsAndAcks) {
+  sim::Simulation sim(73);
+  auto cluster = MakeCluster(&sim);
+  LoadBalancerApp app(cluster.get(), /*lb_node=*/1, {2, 3, 4});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    for (int i = 0; i < 12; ++i) {
+      auto r = co_await app.DoRequest(client, 8192);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(5 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // All three workers saw traffic.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(cluster->service("lbworker" + std::to_string(i))
+                  ->rpc()
+                  ->stats()
+                  .requests_handled,
+              0u);
+  }
+}
+
+TEST_P(AppsBackendTest, ImagePipelineTransformsCorrectly) {
+  sim::Simulation sim(74);
+  auto cluster = MakeCluster(&sim);
+  ImagePipelineApp app(cluster.get(), {1, 2, 3, 4, 5, 6});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    // Both ops (alternating), several sizes.
+    for (uint32_t size : {1024u, 4096u, 32768u, 4096u}) {
+      auto r = co_await app.DoRequest(client, size);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // Both codecs ran.
+  EXPECT_GT(cluster->service("transcoding")->rpc()->stats().requests_handled,
+            0u);
+  EXPECT_GT(cluster->service("compressing")->rpc()->stats().requests_handled,
+            0u);
+}
+
+TEST_P(AppsBackendTest, SocialNetComposeThenRead) {
+  sim::Simulation sim(75);
+  auto cluster = MakeCluster(&sim);
+  SocialNetConfig scfg;
+  scfg.num_users = 10;
+  scfg.followers_per_user = 3;
+  scfg.media_bytes = 4096;
+  SocialNetApp app(cluster.get(), {1, 2, 3}, scfg);
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    // Compose posts from every user, then read timelines.
+    for (uint32_t u = 0; u < 10; ++u) {
+      auto r = co_await app.DoRequest(client, SocialNetApp::ReqKind::kComposePost, u);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+    }
+    // The author's own user-timeline always has a post.
+    auto ut = co_await app.DoRequest(client, SocialNetApp::ReqKind::kReadUser, 3);
+    if (!ut.ok()) {
+      result = ut.status();
+      co_return;
+    }
+    if (*ut == 0) {
+      result = Status::Internal("user timeline empty after compose");
+      co_return;
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  EXPECT_EQ(app.posts_stored(), 10u);
+}
+
+TEST_P(AppsBackendTest, SocialNetMixedWorkloadRuns) {
+  sim::Simulation sim(76);
+  auto cluster = MakeCluster(&sim);
+  SocialNetConfig scfg;
+  scfg.num_users = 20;
+  scfg.media_bytes = 4096;
+  SocialNetApp app(cluster.get(), {1, 2, 3}, scfg);
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+
+  msvc::RequestFn fn = app.MakeMixedRequestFn(client);
+  msvc::WorkloadResult res =
+      msvc::RunClosedLoop(&sim, fn, 4, 50 * kMillisecond, 500 * kMillisecond);
+  EXPECT_GT(res.completed, 50u);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_GT(app.posts_stored(), 0u);
+}
+
+TEST_P(AppsBackendTest, SocialNetEvictionReleasesPosts) {
+  sim::Simulation sim(77);
+  auto cluster = MakeCluster(&sim);
+  SocialNetConfig scfg;
+  scfg.num_users = 5;
+  scfg.followers_per_user = 1;
+  scfg.media_bytes = 4096;
+  scfg.max_stored_posts = 8;
+  SocialNetApp app(cluster.get(), {1, 2, 3}, scfg);
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    for (int i = 0; i < 20; ++i) {
+      auto r = co_await app.DoRequest(
+          client, SocialNetApp::ReqKind::kComposePost, i % 5);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  EXPECT_EQ(app.posts_evicted(), 12u);
+}
+
+TEST_P(AppsBackendTest, BlockStorageWriteReadRoundTrip) {
+  sim::Simulation sim(78);
+  auto cluster = MakeCluster(&sim);
+  BlockStorageApp app(cluster.get(), {1, 2, 3, 4, 5, 6, 7});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    std::vector<uint8_t> block(65536);
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<uint8_t>(i * 17);
+    }
+    auto w = co_await app.WriteBlock(client, 1, 42, block);
+    if (!w.ok()) {
+      result = w.status();
+      co_return;
+    }
+    auto r = co_await app.ReadBlock(client, 1, 42);
+    if (!r.ok()) {
+      result = r.status();
+      co_return;
+    }
+    if (*r != block) {
+      result = Status::Internal("block corrupted through the chain");
+      co_return;
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // Chain of 3 (primary + 2 replicas) each stored the block once.
+  EXPECT_EQ(app.blocks_stored(), 3u);
+}
+
+TEST_P(AppsBackendTest, BlockStorageOverwriteReturnsLatest) {
+  sim::Simulation sim(79);
+  auto cluster = MakeCluster(&sim);
+  BlockStorageApp app(cluster.get(), {1, 2, 3, 4, 5, 6, 7});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    for (int round = 1; round <= 5; ++round) {
+      std::vector<uint8_t> block(16384, static_cast<uint8_t>(round));
+      auto w = co_await app.WriteBlock(client, 2, 7, block);
+      if (!w.ok()) {
+        result = w.status();
+        co_return;
+      }
+      auto r = co_await app.ReadBlock(client, 2, 7);
+      if (!r.ok()) {
+        result = r.status();
+        co_return;
+      }
+      if ((*r)[0] != static_cast<uint8_t>(round) || r->size() != 16384) {
+        result = Status::Internal("stale read after overwrite");
+        co_return;
+      }
+    }
+    result = Status::OK();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+}
+
+TEST_P(AppsBackendTest, BlockStorageMissingBlockIsNotFound) {
+  sim::Simulation sim(80);
+  auto cluster = MakeCluster(&sim);
+  BlockStorageApp app(cluster.get(), {1, 2, 3, 4, 5, 6, 7});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    auto r = co_await app.ReadBlock(client, 9, 999);
+    result = r.ok() ? Status::Internal("read a ghost block") : r.status();
+  };
+  sim.Spawn(driver());
+  sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->IsNotFound()) << result->ToString();
+}
+
+TEST_P(AppsBackendTest, BlockStorageMixedWorkloadRuns) {
+  sim::Simulation sim(81);
+  auto cluster = MakeCluster(&sim, /*num_nodes=*/12);
+  BlockStorageApp app(cluster.get(), {1, 2, 3, 4, 5, 6, 7});
+  ServiceEndpoint* client = cluster->AddService("client", 0, 950, 4);
+  ASSERT_TRUE(msvc::RunToCompletion(&sim, cluster->InitAll()).ok());
+  msvc::RequestFn fn = app.MakeWorkloadFn(client, 32768, 0.3);
+  msvc::WorkloadResult res =
+      msvc::RunClosedLoop(&sim, fn, 8, 50 * kMillisecond,
+                          400 * kMillisecond);
+  EXPECT_GT(res.completed, 100u);
+  EXPECT_EQ(res.failed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AppsBackendTest,
+                         ::testing::Values(Backend::kErpc, Backend::kDmNet,
+                                           Backend::kDmCxl),
+                         BackendTestName);
+
+}  // namespace
+}  // namespace dmrpc::apps

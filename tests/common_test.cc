@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dmrpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing page");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing page");
+  EXPECT_EQ(st.ToString(), "NotFound: missing page");
+}
+
+TEST(StatusTest, FactoryCodesMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MovesOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StatusOrTest, OkStatusIsRejected) {
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());  // constructing from OK is a programming error
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, TransferNsCeils) {
+  EXPECT_EQ(TransferNs(0, 12.5), 0);
+  EXPECT_EQ(TransferNs(12, 12.0), 1);
+  EXPECT_EQ(TransferNs(13, 12.0), 2);
+  EXPECT_EQ(TransferNs(4096, GbpsToBytesPerNs(100)), 328);  // ~327.68
+}
+
+TEST(UnitsTest, GbpsConversion) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerNs(100.0), 12.5);
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerNs(8.0), 1.0);
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(512), "512 ns");
+  EXPECT_EQ(FormatDuration(1500), "1.50 us");
+  EXPECT_EQ(FormatDuration(2300000), "2.30 ms");
+  EXPECT_EQ(FormatDuration(3 * kSecond), "3.000 s");
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(100), "100B");
+  EXPECT_EQ(FormatBytes(4096), "4.0K");
+  EXPECT_EQ(FormatBytes(MiB(3)), "3.0M");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123, 5), b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  Rng a(123, 1), b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.05) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.05, 0.005);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.Exponential(250.0);
+  EXPECT_NEAR(sum / 100000, 250.0, 5.0);
+}
+
+TEST(RngTest, ZipfSkewsTowardsHead) {
+  Rng rng(15);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(100, 1.0)]++;
+  EXPECT_GT(counts[0], counts[50] * 5);
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 100u);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[rng.Zipf(10, 0.0)]++;
+  for (const auto& [k, v] : counts) {
+    EXPECT_NEAR(v, 5000, 400);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777);
+  EXPECT_EQ(h.max(), 777);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+  EXPECT_NEAR(h.p50(), 777, 777 / 30);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.Record(i);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 32);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000000; ++v) h.Record(v);
+  EXPECT_NEAR(h.p50(), 500000, 500000 * 0.035);
+  EXPECT_NEAR(h.p99(), 990000, 990000 * 0.035);
+  EXPECT_NEAR(h.p999(), 999000, 999000 * 0.035);
+  EXPECT_EQ(h.max(), 1000000);
+}
+
+TEST(HistogramTest, QuantileIsMonotonic) {
+  Histogram h;
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.Uniform(1u << 20));
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 0.01);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(int64_t{1} << 55);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.p999(), 0);
+}
+
+/// Property sweep: for any scale, quantile error stays within ~3.2%.
+class HistogramScaleTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramScaleTest, RelativeErrorBounded) {
+  int64_t scale = GetParam();
+  Histogram h;
+  Rng rng(scale);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.NextDouble() * scale);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_LE(std::abs(approx - exact),
+              std::max<int64_t>(2, static_cast<int64_t>(exact * 0.04)))
+        << "scale=" << scale << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramScaleTest,
+                         ::testing::Values(100, 10000, 1000000,
+                                           100000000, int64_t{1} << 40));
+
+}  // namespace
+}  // namespace dmrpc

@@ -1,0 +1,314 @@
+// Property test: the copy-on-write layer must make every mapping behave
+// like a private copy taken at create_ref time, regardless of how many
+// actors read, write, map, and free concurrently -- DmRPC's G2
+// ("abstract complex user logic away from handling data consistency").
+//
+// A reference model (plain byte vectors) runs alongside random operation
+// sequences on the real DM layers; every read is checked against the
+// model, and at the end every frame must be reclaimed (conservation).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "cxl/coordinator.h"
+#include "cxl/host_dm.h"
+#include "dm/client.h"
+#include "dmnet/client.h"
+#include "dmnet/protocol.h"
+#include "dmnet/server.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace dmrpc {
+namespace {
+
+constexpr int kNumActors = 3;
+constexpr uint32_t kPage = 4096;
+
+/// Backend-agnostic test harness owning the simulated DM substrate and
+/// one DmClient per actor.
+class Harness {
+ public:
+  virtual ~Harness() = default;
+  virtual dm::DmClient* actor(int i) = 0;
+  virtual sim::Simulation* sim() = 0;
+  virtual sim::Task<Status> Init() = 0;
+  /// Free frames across the substrate (for conservation checks).
+  virtual size_t TotalFreeFrames() = 0;
+};
+
+class NetHarness : public Harness {
+ public:
+  NetHarness()
+      : sim_(0xC0FFEE),
+        fabric_(&sim_, net::NetworkConfig{}, kNumActors + 2) {
+    dmnet::DmServerConfig cfg;
+    cfg.num_frames = 4096;
+    for (int s = 0; s < 2; ++s) {
+      uint64_t base = (static_cast<uint64_t>(s) + 1) << 44;
+      servers_.push_back(std::make_unique<dmnet::DmServer>(
+          &fabric_, static_cast<net::NodeId>(kNumActors + s),
+          dmnet::kDmServerPort, cfg, base));
+      addrs_.push_back({static_cast<net::NodeId>(kNumActors + s),
+                        dmnet::kDmServerPort, base, uint64_t{1} << 44});
+    }
+    for (int i = 0; i < kNumActors; ++i) {
+      rpcs_.push_back(std::make_unique<rpc::Rpc>(
+          &fabric_, static_cast<net::NodeId>(i), 700));
+      clients_.push_back(
+          std::make_unique<dmnet::DmNetClient>(rpcs_.back().get(), addrs_));
+    }
+  }
+
+  dm::DmClient* actor(int i) override { return clients_[i].get(); }
+  sim::Simulation* sim() override { return &sim_; }
+  sim::Task<Status> Init() override {
+    for (auto& c : clients_) {
+      Status st = co_await c->Init();
+      if (!st.ok()) co_return st;
+    }
+    co_return Status::OK();
+  }
+  size_t TotalFreeFrames() override {
+    size_t total = 0;
+    for (auto& s : servers_) total += s->pool().free_frames();
+    return total;
+  }
+
+ private:
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<dmnet::DmServer>> servers_;
+  std::vector<dmnet::DmServerAddr> addrs_;
+  std::vector<std::unique_ptr<rpc::Rpc>> rpcs_;
+  std::vector<std::unique_ptr<dmnet::DmNetClient>> clients_;
+};
+
+class CxlHarness : public Harness {
+ public:
+  CxlHarness()
+      : sim_(0xF00D),
+        fabric_(&sim_, net::NetworkConfig{}, kNumActors + 1),
+        device_(8192, kPage),
+        coordinator_(&fabric_, kNumActors, &device_) {
+    for (int i = 0; i < kNumActors; ++i) {
+      rpcs_.push_back(std::make_unique<rpc::Rpc>(
+          &fabric_, static_cast<net::NodeId>(i), 700));
+      meters_.push_back(std::make_unique<mem::BandwidthMeter>());
+      ports_.push_back(std::make_unique<cxl::CxlPort>(
+          &sim_, &device_, mem::MemoryConfig{}, meters_.back().get()));
+      hosts_.push_back(std::make_unique<cxl::HostDmLayer>(
+          rpcs_.back().get(), ports_.back().get(),
+          static_cast<net::NodeId>(kNumActors), cxl::kCoordinatorPort));
+    }
+  }
+
+  dm::DmClient* actor(int i) override { return hosts_[i].get(); }
+  sim::Simulation* sim() override { return &sim_; }
+  sim::Task<Status> Init() override {
+    for (auto& h : hosts_) {
+      Status st = co_await h->Init();
+      if (!st.ok()) co_return st;
+    }
+    co_return Status::OK();
+  }
+  size_t TotalFreeFrames() override {
+    size_t total = coordinator_.free_frames();
+    for (auto& h : hosts_) total += h->local_free_frames();
+    return total;
+  }
+
+ private:
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+  cxl::GfamDevice device_;
+  cxl::Coordinator coordinator_;
+  std::vector<std::unique_ptr<rpc::Rpc>> rpcs_;
+  std::vector<std::unique_ptr<mem::BandwidthMeter>> meters_;
+  std::vector<std::unique_ptr<cxl::CxlPort>> ports_;
+  std::vector<std::unique_ptr<cxl::HostDmLayer>> hosts_;
+};
+
+// ---------------------------------------------------------------------------
+// The model
+// ---------------------------------------------------------------------------
+
+/// One live mapping of a shared object by some actor.
+struct Mapping {
+  int actor;
+  dm::RemoteAddr addr;
+  std::vector<uint8_t> view;  // what this mapping must observe
+};
+
+/// One shared object: a Ref plus its live mappings.
+struct Object {
+  dm::Ref ref;
+  bool released = false;
+  std::vector<uint8_t> snapshot;  // contents at create_ref time
+  std::vector<Mapping> mappings;
+};
+
+struct ModelState {
+  std::vector<Object> objects;
+  size_t live_mappings = 0;
+};
+
+/// The whole random scenario as one coroutine (the DM APIs suspend).
+sim::Task<Status> RunScenario(Harness* h, uint64_t seed, int steps) {
+  Rng rng(seed, 31);
+  ModelState model;
+
+  auto random_bytes = [&rng](size_t n) {
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(rng.Next());
+    return out;
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    uint32_t action = rng.Uniform(100);
+
+    if (action < 20 || model.objects.empty()) {
+      // CREATE: an actor builds an object via PutRef.
+      int actor = static_cast<int>(rng.Uniform(kNumActors));
+      size_t size = 1 + rng.Uniform(4 * kPage);
+      std::vector<uint8_t> data = random_bytes(size);
+      auto ref = co_await h->actor(actor)->PutRef(data.data(), size);
+      if (!ref.ok()) co_return ref.status();
+      Object obj;
+      obj.ref = std::move(*ref);
+      obj.snapshot = std::move(data);
+      model.objects.push_back(std::move(obj));
+      continue;
+    }
+
+    Object& obj = model.objects[rng.Uniform(
+        static_cast<uint32_t>(model.objects.size()))];
+
+    if (action < 40) {
+      // MAP: any actor maps the object (if the ref is still live).
+      if (obj.released) continue;
+      int actor = static_cast<int>(rng.Uniform(kNumActors));
+      auto addr = co_await h->actor(actor)->MapRef(obj.ref);
+      if (!addr.ok()) co_return addr.status();
+      obj.mappings.push_back(Mapping{actor, *addr, obj.snapshot});
+      model.live_mappings++;
+    } else if (action < 60) {
+      // WRITE through a random mapping: must only affect that mapping.
+      if (obj.mappings.empty()) continue;
+      Mapping& m = obj.mappings[rng.Uniform(
+          static_cast<uint32_t>(obj.mappings.size()))];
+      size_t off = rng.Uniform(static_cast<uint32_t>(m.view.size()));
+      size_t len = 1 + rng.Uniform(static_cast<uint32_t>(
+                           std::min<size_t>(m.view.size() - off, kPage * 2)));
+      std::vector<uint8_t> data = random_bytes(len);
+      Status st =
+          co_await h->actor(m.actor)->Write(m.addr + off, data.data(), len);
+      if (!st.ok()) co_return st;
+      std::copy(data.begin(), data.end(), m.view.begin() + off);
+    } else if (action < 85) {
+      // READ through a random mapping: must equal the model view.
+      if (obj.mappings.empty()) continue;
+      Mapping& m = obj.mappings[rng.Uniform(
+          static_cast<uint32_t>(obj.mappings.size()))];
+      size_t off = rng.Uniform(static_cast<uint32_t>(m.view.size()));
+      size_t len = 1 + rng.Uniform(static_cast<uint32_t>(m.view.size() - off));
+      std::vector<uint8_t> got(len);
+      Status st =
+          co_await h->actor(m.actor)->Read(m.addr + off, got.data(), len);
+      if (!st.ok()) co_return st;
+      for (size_t i = 0; i < len; ++i) {
+        if (got[i] != m.view[off + i]) {
+          co_return Status::Internal(
+              "COW isolation violated at step " + std::to_string(step));
+        }
+      }
+    } else if (action < 93) {
+      // UNMAP a random mapping.
+      if (obj.mappings.empty()) continue;
+      uint32_t idx =
+          rng.Uniform(static_cast<uint32_t>(obj.mappings.size()));
+      Status st = co_await h->actor(obj.mappings[idx].actor)
+                      ->Free(obj.mappings[idx].addr);
+      if (!st.ok()) co_return st;
+      obj.mappings.erase(obj.mappings.begin() + idx);
+      model.live_mappings--;
+    } else {
+      // RELEASE the ref (existing mappings stay valid).
+      if (obj.released) continue;
+      Status st = co_await h->actor(0)->ReleaseRef(obj.ref);
+      if (!st.ok()) co_return st;
+      obj.released = true;
+    }
+  }
+
+  // Teardown: drop everything; afterwards the caller checks conservation.
+  for (Object& obj : model.objects) {
+    for (Mapping& m : obj.mappings) {
+      Status st = co_await h->actor(m.actor)->Free(m.addr);
+      if (!st.ok()) co_return st;
+    }
+    if (!obj.released) {
+      Status st = co_await h->actor(0)->ReleaseRef(obj.ref);
+      if (!st.ok()) co_return st;
+    }
+  }
+  co_return Status::OK();
+}
+
+enum class Kind { kNet, kCxl };
+
+struct Case {
+  Kind kind;
+  uint64_t seed;
+};
+
+class CowPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CowPropertyTest, RandomInterleavingsMatchModel) {
+  Case param = GetParam();
+  std::unique_ptr<Harness> h;
+  if (param.kind == Kind::kNet) {
+    h = std::make_unique<NetHarness>();
+  } else {
+    h = std::make_unique<CxlHarness>();
+  }
+  size_t frames_before = 0;
+
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    Status init = co_await h->Init();
+    if (!init.ok()) {
+      result = init;
+      co_return;
+    }
+    frames_before = h->TotalFreeFrames();
+    result = co_await RunScenario(h.get(), param.seed, /*steps=*/300);
+  };
+  h->sim()->Spawn(driver());
+  h->sim()->RunFor(120 * kSecond);
+  ASSERT_TRUE(result.has_value()) << "scenario did not finish";
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // Every frame must be back on a free list.
+  EXPECT_EQ(h->TotalFreeFrames(), frames_before);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.kind == Kind::kNet ? "Net" : "Cxl") +
+         "Seed" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, CowPropertyTest,
+    ::testing::Values(Case{Kind::kNet, 1}, Case{Kind::kNet, 2},
+                      Case{Kind::kNet, 3}, Case{Kind::kNet, 4},
+                      Case{Kind::kCxl, 1}, Case{Kind::kCxl, 2},
+                      Case{Kind::kCxl, 3}, Case{Kind::kCxl, 4}),
+    CaseName);
+
+}  // namespace
+}  // namespace dmrpc

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "datastore/object_store.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::datastore {
+namespace {
+
+class DataStoreTest : public ::testing::Test {
+ protected:
+  DataStoreTest() : sim_(41), fabric_(&sim_, net::NetworkConfig{}, 2) {
+    node0_ = std::make_unique<DataStoreNode>(&fabric_, 0);
+    node1_ = std::make_unique<DataStoreNode>(&fabric_, 1);
+  }
+
+  template <typename T>
+  T Run(sim::Task<T> task) {
+    auto out = std::make_shared<std::optional<T>>();
+    auto wrap = [](sim::Task<T> t,
+                   std::shared_ptr<std::optional<T>> o) -> sim::Task<> {
+      o->emplace(co_await std::move(t));
+    };
+    sim_.Spawn(wrap(std::move(task), out));
+    while (!out->has_value() && sim_.Step()) {
+    }
+    EXPECT_TRUE(out->has_value());
+    return std::move(**out);
+  }
+
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+  std::unique_ptr<DataStoreNode> node0_;
+  std::unique_ptr<DataStoreNode> node1_;
+};
+
+TEST_F(DataStoreTest, LocalPutGetRoundTrips) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(5000);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i);
+    }
+    auto id = co_await node0_->Put(data.data(), data.size());
+    if (!id.ok()) co_return id.status();
+    auto back = co_await node0_->Get(*id);
+    if (!back.ok()) co_return back.status();
+    if (*back != data) co_return Status::Internal("mismatch");
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(node0_->stats().puts, 1u);
+  EXPECT_EQ(node0_->stats().local_gets, 1u);
+  EXPECT_EQ(node0_->stats().remote_fetches, 0u);
+}
+
+TEST_F(DataStoreTest, RemoteGetFetchesWholeObject) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(32768, 0x5a);
+    auto id = co_await node0_->Put(data.data(), data.size());
+    if (!id.ok()) co_return id.status();
+    auto back = co_await node1_->Get(*id);
+    if (!back.ok()) co_return back.status();
+    if (*back != data) co_return Status::Internal("mismatch");
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(node1_->stats().remote_fetches, 1u);
+  // The whole 32 KiB crossed the wire even if the consumer needed less.
+  EXPECT_GE(fabric_.nic(1)->stats().rx_bytes, 32768u);
+}
+
+TEST_F(DataStoreTest, SecondRemoteGetHitsLocalCache) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(8192, 1);
+    auto id = co_await node0_->Put(data.data(), data.size());
+    (void)co_await node1_->Get(*id);
+    (void)co_await node1_->Get(*id);
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(node1_->stats().remote_fetches, 1u);
+  EXPECT_EQ(node1_->stats().local_gets, 1u);
+}
+
+TEST_F(DataStoreTest, GetCopiesAreIndependent) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(100, 3);
+    auto id = co_await node0_->Put(data.data(), data.size());
+    auto c1 = co_await node0_->Get(*id);
+    (*c1)[0] = 99;  // mutate the heap copy
+    auto c2 = co_await node0_->Get(*id);
+    if ((*c2)[0] != 3) co_return Status::Internal("store copy mutated");
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(DataStoreTest, MissingObjectIsNotFound) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    ObjectId bogus{0, 424242};
+    auto r = co_await node0_->Get(bogus);
+    if (r.ok()) co_return Status::Internal("found bogus object");
+    if (!r.status().IsNotFound()) co_return r.status();
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(DataStoreTest, DeleteRemovesObject) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(10, 1);
+    auto id = co_await node0_->Put(data.data(), data.size());
+    Status d = co_await node0_->Delete(*id);
+    if (!d.ok()) co_return d;
+    auto r = co_await node0_->Get(*id);
+    if (r.ok()) co_return Status::Internal("deleted object still there");
+    co_return Status::OK();
+  }());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(node0_->resident_objects(), 0u);
+}
+
+TEST_F(DataStoreTest, TwoCopiesAreChargedPerConsumption) {
+  auto st = Run([&]() -> sim::Task<Status> {
+    std::vector<uint8_t> data(10000, 1);
+    auto id = co_await node0_->Put(data.data(), data.size());
+    (void)co_await node1_->Get(*id);
+    co_return Status::OK();
+  }());
+  ASSERT_TRUE(st.ok());
+  // Producer side: one copy into the store. Consumer side: one copy into
+  // its store plus one copy store -> heap.
+  EXPECT_EQ(node0_->stats().bytes_copied, 10000u);
+  EXPECT_EQ(node1_->stats().bytes_copied, 20000u);
+}
+
+TEST(DataStoreConfigTest, SparkProfileAddsSerialization) {
+  sim::Simulation sim(43);
+  net::Fabric fabric(&sim, net::NetworkConfig{}, 2);
+  DataStoreNode ray(&fabric, 0, DataStoreConfig::Ray());
+  DataStoreNode spark(&fabric, 1, DataStoreConfig::Spark(),
+                      kDataStorePort + 1);
+  std::vector<uint8_t> data(65536, 1);
+  TimeNs ray_ns = 0, spark_ns = 0;
+  auto timed_put = [&](DataStoreNode* node, TimeNs* out) -> sim::Task<> {
+    TimeNs start = sim::Simulation::Current()->Now();
+    (void)co_await node->Put(data.data(), data.size());
+    *out = sim::Simulation::Current()->Now() - start;
+  };
+  sim.Spawn(timed_put(&ray, &ray_ns));
+  sim.Run();
+  sim.Spawn(timed_put(&spark, &spark_ns));
+  sim.Run();
+  EXPECT_GT(spark_ns, ray_ns + 40000);  // 65536 * 0.8 ns/B serialization
+}
+
+}  // namespace
+}  // namespace dmrpc::datastore

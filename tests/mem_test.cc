@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_model.h"
+
+namespace dmrpc::mem {
+namespace {
+
+TEST(MemoryConfigTest, DefaultsMatchPaperCalibration) {
+  MemoryConfig cfg;
+  EXPECT_EQ(cfg.local_dram_latency_ns, 75);    // §VI-A local DDR
+  EXPECT_EQ(cfg.remote_socket_latency_ns, 125);  // §VI-A cross-socket
+  EXPECT_EQ(cfg.cxl_latency_ns, 265);  // 165 ns device + 100 ns switch
+}
+
+TEST(MemoryConfigTest, LatencyForSelectsTier) {
+  MemoryConfig cfg;
+  EXPECT_EQ(cfg.LatencyFor(MemKind::kLocalDram), 75);
+  EXPECT_EQ(cfg.LatencyFor(MemKind::kRemoteSocket), 125);
+  EXPECT_EQ(cfg.LatencyFor(MemKind::kCxl), 265);
+}
+
+TEST(MemoryConfigTest, AccessCombinesLatencyAndBandwidth) {
+  MemoryConfig cfg;
+  // 12 KB at 12 B/ns = 1000 ns + 75 ns latency.
+  EXPECT_EQ(cfg.AccessNs(MemKind::kLocalDram, 12000), 1075);
+  // Zero bytes costs one latency.
+  EXPECT_EQ(cfg.AccessNs(MemKind::kLocalDram, 0), 75);
+  // CXL uses the CXL bandwidth.
+  EXPECT_EQ(cfg.AccessNs(MemKind::kCxl, 24000), 265 + 1000);
+}
+
+TEST(MemoryConfigTest, CopyBoundedBySlowerTier) {
+  MemoryConfig cfg;
+  // DRAM -> CXL copy: CXL latency dominates, DRAM bandwidth is the min.
+  TimeNs cross = cfg.CopyNs(MemKind::kLocalDram, MemKind::kCxl, 12000);
+  EXPECT_EQ(cross, 265 + 1000);
+  // Symmetric.
+  EXPECT_EQ(cfg.CopyNs(MemKind::kCxl, MemKind::kLocalDram, 12000), cross);
+  // Same-tier DRAM copy.
+  EXPECT_EQ(cfg.CopyNs(MemKind::kLocalDram, MemKind::kLocalDram, 12000),
+            1075);
+}
+
+TEST(MemoryConfigTest, CxlLatencyKnobPropagates) {
+  MemoryConfig cfg;
+  cfg.cxl_latency_ns = 565;
+  EXPECT_EQ(cfg.AccessNs(MemKind::kCxl, 0), 565);
+  EXPECT_EQ(cfg.AccessNs(MemKind::kLocalDram, 0), 75);  // unaffected
+}
+
+TEST(BandwidthMeterTest, ChargesPerTier) {
+  BandwidthMeter meter;
+  meter.Charge(MemKind::kLocalDram, 100);
+  meter.Charge(MemKind::kRemoteSocket, 200);
+  meter.Charge(MemKind::kCxl, 400);
+  meter.Charge(MemKind::kLocalDram, 50);
+  EXPECT_EQ(meter.bytes(MemKind::kLocalDram), 150u);
+  EXPECT_EQ(meter.bytes(MemKind::kRemoteSocket), 200u);
+  EXPECT_EQ(meter.bytes(MemKind::kCxl), 400u);
+  EXPECT_EQ(meter.dram_bytes(), 350u);
+  EXPECT_EQ(meter.total_bytes(), 750u);
+}
+
+TEST(BandwidthMeterTest, ResetClears) {
+  BandwidthMeter meter;
+  meter.Charge(MemKind::kCxl, 9);
+  meter.Reset();
+  EXPECT_EQ(meter.total_bytes(), 0u);
+}
+
+TEST(MemKindTest, NamesAreStable) {
+  EXPECT_STREQ(MemKindName(MemKind::kLocalDram), "local-dram");
+  EXPECT_STREQ(MemKindName(MemKind::kRemoteSocket), "remote-socket");
+  EXPECT_STREQ(MemKindName(MemKind::kCxl), "cxl");
+}
+
+}  // namespace
+}  // namespace dmrpc::mem
