@@ -40,6 +40,7 @@ double RunOne(int cores, bool mmu_direct) {
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(24);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 3);
   dmnet::DmServerConfig scfg;
   scfg.num_frames = 1u << 16;
@@ -80,6 +81,9 @@ double RunOne(int cores, bool mmu_direct) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/32, env.Warmup(10 * kMillisecond),
       env.Measure(150 * kMillisecond));
+  BenchObs::Record(std::string(mmu_direct ? "mmu-direct" : "sw") + "_cores" +
+                       std::to_string(cores),
+                   &sim);
   return Cache().emplace(key, res.throughput_rps()).first->second;
 }
 
@@ -97,6 +101,7 @@ double RunImageApp(int codec_threads) {
   if (it != AppCache().end()) return it->second;
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(25);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = msvc::Backend::kDmCxl;
   cfg.num_nodes = 10;
@@ -111,6 +116,7 @@ double RunImageApp(int codec_threads) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, app.MakeRequestFn(client, 65536), /*workers=*/8 * codec_threads,
       env.Warmup(30 * kMillisecond), env.Measure(200 * kMillisecond));
+  BenchObs::Record("image-app_codec" + std::to_string(codec_threads), &sim);
   return AppCache().emplace(codec_threads, res.throughput_gbps())
       .first->second;
 }

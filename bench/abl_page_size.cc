@@ -41,6 +41,7 @@ const Outcome& RunOne(uint32_t page_size) {
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(22);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = msvc::Backend::kDmNet;
   cfg.num_nodes = 5;
@@ -112,6 +113,7 @@ const Outcome& RunOne(uint32_t page_size) {
     out.traffic_per_req = static_cast<double>(traffic) / res.completed;
     out.cow_per_req = static_cast<double>(cows) / res.completed;
   }
+  BenchObs::Record("page" + std::to_string(page_size), &sim);
   return Cache().emplace(page_size, out).first->second;
 }
 

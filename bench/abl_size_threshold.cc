@@ -44,6 +44,7 @@ const msvc::WorkloadResult& RunOne(uint64_t threshold, uint32_t arg_bytes) {
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(21);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = msvc::Backend::kDmNet;
   cfg.num_nodes = 10;
@@ -57,6 +58,9 @@ const msvc::WorkloadResult& RunOne(uint64_t threshold, uint32_t arg_bytes) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, app.MakeRequestFn(client, arg_bytes), /*workers=*/8,
       env.Warmup(20 * kMillisecond), env.Measure(200 * kMillisecond));
+  BenchObs::Record(std::string(PolicyName(threshold)) + "_" +
+                       std::to_string(arg_bytes) + "B",
+                   &sim);
   return Cache().emplace(key, std::move(res)).first->second;
 }
 

@@ -40,6 +40,7 @@ const Outcome& RunOne(uint32_t size) {
   if (it != Cache().end()) return it->second;
 
   sim::Simulation sim(23);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 2);
   dmnet::DmServerConfig scfg;
   scfg.num_frames = 1u << 15;
@@ -78,6 +79,7 @@ const Outcome& RunOne(uint32_t size) {
       }(),
       60 * kSecond);
   DMRPC_CHECK(st.ok()) << st.ToString();
+  BenchObs::Record("read_" + std::to_string(size) + "B", &sim);
   return Cache().emplace(size, out).first->second;
 }
 

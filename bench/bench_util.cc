@@ -1,9 +1,14 @@
 #include "bench/bench_util.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -62,6 +67,106 @@ BenchEnv BenchEnv::FromEnv() {
     if (v > 0.0) env.scale = v;
   }
   return env;
+}
+
+namespace {
+
+/// Executable base name, used to name the sidecar files.
+std::string BenchName() {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "bench";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Keeps labels filesystem-safe.
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Label -> metrics JSON, in Record() order; flushed by an atexit hook so
+/// a bench's several runs land in one file.
+std::vector<std::pair<std::string, std::string>>& PendingRuns() {
+  static std::vector<std::pair<std::string, std::string>> runs;
+  return runs;
+}
+
+void WriteMetricsSidecar() {
+  auto& runs = PendingRuns();
+  if (runs.empty()) return;
+  std::string path;
+  if (const char* p = std::getenv("DMRPC_METRICS_PATH")) {
+    path = p;
+  } else {
+    path = BenchName() + ".metrics.json";
+  }
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "cannot write metrics sidecar " << path;
+    return;
+  }
+  out << "{\"bench\":\"" << JsonEscape(BenchName()) << "\",\"runs\":{";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(runs[i].first) << "\":" << runs[i].second;
+  }
+  out << "}}\n";
+  std::printf("[obs] wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+}  // namespace
+
+void BenchObs::Arm(sim::Simulation* sim) {
+  if (std::getenv("DMRPC_TRACE_DIR") != nullptr) {
+    sim->tracer().set_enabled(true);
+  }
+}
+
+void BenchObs::Record(const std::string& label, sim::Simulation* sim) {
+  auto& runs = PendingRuns();
+  if (runs.empty()) std::atexit(WriteMetricsSidecar);
+  runs.emplace_back(label, sim->DumpMetricsJson());
+
+  const char* dir = std::getenv("DMRPC_TRACE_DIR");
+  if (dir != nullptr && !sim->tracer().records().empty()) {
+    std::string path = std::string(dir) + "/" + BenchName() + "_" +
+                       SanitizeLabel(label) + ".trace.json";
+    std::ofstream out(path);
+    if (out) {
+      sim->tracer().WriteChromeTrace(out);
+      std::printf("[obs] wrote %s (%zu events)\n", path.c_str(),
+                  sim->tracer().records().size());
+    } else {
+      LOG_WARN << "cannot write trace " << path;
+    }
+    sim->tracer().Clear();
+  }
 }
 
 std::string Summarize(const msvc::WorkloadResult& res) {

@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "msvc/workload.h"
+#include "sim/simulation.h"
 
 namespace dmrpc::bench {
 
@@ -48,6 +49,30 @@ struct BenchEnv {
 
 /// Standard one-line summary of a workload result.
 std::string Summarize(const msvc::WorkloadResult& res);
+
+/// Machine-readable observability sidecar for bench binaries.
+///
+/// Every bench calls Arm() right after constructing each Simulation and
+/// Record() once that simulation's run is over. On process exit the
+/// collected per-run metrics dumps are written as one JSON file next to
+/// the binary's working directory:
+///
+///   <bench>.metrics.json        {"bench": "...", "runs": {label: {...}}}
+///
+/// where <bench> is the executable name (override the full path with
+/// DMRPC_METRICS_PATH). Setting DMRPC_TRACE_DIR additionally enables the
+/// simulation's event tracer and writes one Chrome trace_event file per
+/// run to <DMRPC_TRACE_DIR>/<bench>_<label>.trace.json (load it in
+/// chrome://tracing or https://ui.perfetto.dev).
+class BenchObs {
+ public:
+  /// Enables tracing on `sim` when DMRPC_TRACE_DIR is set.
+  static void Arm(sim::Simulation* sim);
+
+  /// Stores sim->DumpMetricsJson() under `label` (labels must be unique
+  /// within a binary) and flushes the pending Chrome trace, if armed.
+  static void Record(const std::string& label, sim::Simulation* sim);
+};
 
 }  // namespace dmrpc::bench
 

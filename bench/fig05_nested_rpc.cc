@@ -34,6 +34,7 @@ const msvc::WorkloadResult& RunChain(msvc::Backend backend, int chain_len) {
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(7);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 10;
@@ -48,6 +49,9 @@ const msvc::WorkloadResult& RunChain(msvc::Backend backend, int chain_len) {
       &sim, app.MakeRequestFn(client, kArgBytes),
       /*workers=*/8, env.Warmup(20 * kMillisecond),
       env.Measure(250 * kMillisecond));
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_chain" +
+                       std::to_string(chain_len),
+                   &sim);
   return Cache().emplace(key, std::move(res)).first->second;
 }
 

@@ -41,6 +41,7 @@ const LbOutcome& RunLb(msvc::Backend backend, uint32_t req_bytes) {
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(6);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 12;  // 3 clients, LB, 3 workers, spares, 2 DM hosts
@@ -83,6 +84,9 @@ const LbOutcome& RunLb(msvc::Backend backend, uint32_t req_bytes) {
       out.result.completed == 0
           ? 0.0
           : static_cast<double>(lb_bytes) / out.result.completed;
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_" +
+                       std::to_string(req_bytes) + "B",
+                   &sim);
   return Cache().emplace(key, std::move(out)).first->second;
 }
 

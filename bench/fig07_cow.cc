@@ -69,6 +69,7 @@ std::map<std::pair<int, uint32_t>, CowOutcome>& Cache() {
 CowOutcome RunNet(bool eager_copy, uint32_t size) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(17);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 2);
   dmnet::DmServerConfig scfg;
   scfg.num_frames = 1u << 16;
@@ -124,6 +125,9 @@ CowOutcome RunNet(bool eager_copy, uint32_t size) {
   out.response_us = res.latency.mean() / 1e3;
   out.traffic_per_req =
       creates == 0 ? 0.0 : static_cast<double>(traffic) / creates;
+  BenchObs::Record(std::string(eager_copy ? "net-copy" : "net") + "_" +
+                       std::to_string(size) + "B",
+                   &sim);
   return out;
 }
 
@@ -131,6 +135,7 @@ CowOutcome RunNet(bool eager_copy, uint32_t size) {
 CowOutcome RunCxl(bool eager_copy, uint32_t size) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(18);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 2);
   cxl::GfamDevice device(1u << 16, 4096);
   cxl::Coordinator coordinator(&fabric, 1, &device);
@@ -183,6 +188,9 @@ CowOutcome RunCxl(bool eager_copy, uint32_t size) {
   out.response_us = res.latency.mean() / 1e3;
   out.traffic_per_req =
       creates == 0 ? 0.0 : static_cast<double>(traffic) / creates;
+  BenchObs::Record(std::string(eager_copy ? "cxl-copy" : "cxl") + "_" +
+                       std::to_string(size) + "B",
+                   &sim);
   return out;
 }
 

@@ -60,6 +60,7 @@ std::map<std::pair<int, int>, Outcome>& Cache() {
 Outcome RunDmRpc(msvc::Backend backend, int write_pct) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(19);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 5;
@@ -114,6 +115,9 @@ Outcome RunDmRpc(msvc::Backend backend, int write_pct) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/1, env.Warmup(10 * kMillisecond),
       env.Measure(200 * kMillisecond));
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_write" +
+                       std::to_string(write_pct),
+                   &sim);
   return Outcome{res.throughput_rps() / 1e3, res.latency.mean() / 1e3};
 }
 
@@ -123,6 +127,7 @@ Outcome RunDmRpc(msvc::Backend backend, int write_pct) {
 Outcome RunStore(bool spark, int write_pct) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(20);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 2);
   datastore::DataStoreConfig dcfg = spark ? datastore::DataStoreConfig::Spark()
                                           : datastore::DataStoreConfig::Ray();
@@ -182,6 +187,9 @@ Outcome RunStore(bool spark, int write_pct) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/1, env.Warmup(10 * kMillisecond),
       env.Measure(400 * kMillisecond));
+  BenchObs::Record(std::string(spark ? "Spark" : "Ray") + "_write" +
+                       std::to_string(write_pct),
+                   &sim);
   return Outcome{res.throughput_rps() / 1e3, res.latency.mean() / 1e3};
 }
 

@@ -35,6 +35,7 @@ const msvc::WorkloadResult& RunPipeline(msvc::Backend backend,
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(10);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 10;
@@ -48,6 +49,9 @@ const msvc::WorkloadResult& RunPipeline(msvc::Backend backend,
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, app.MakeRequestFn(client, image_bytes), /*workers=*/16,
       env.Warmup(30 * kMillisecond), env.Measure(300 * kMillisecond));
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_" +
+                       std::to_string(image_bytes) + "B",
+                   &sim);
   return Cache().emplace(key, std::move(res)).first->second;
 }
 

@@ -36,6 +36,7 @@ const msvc::WorkloadResult& RunSocialNet(msvc::Backend backend,
 
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(11);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 6;  // 3 app servers + client host + DM hosts
@@ -50,6 +51,9 @@ const msvc::WorkloadResult& RunSocialNet(msvc::Backend backend,
       &sim, app.MakeMixedRequestFn(client), rate_krps * 1000.0,
       env.Warmup(100 * kMillisecond), env.Measure(500 * kMillisecond),
       /*max_outstanding=*/50000);
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_" +
+                       std::to_string(rate_krps) + "krps",
+                   &sim);
   return Cache().emplace(key, std::move(res)).first->second;
 }
 

@@ -33,6 +33,7 @@ std::map<std::pair<int, TimeNs>, double>& Cache() {
 double RunMicro(TimeNs cxl_latency) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(12);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = msvc::Backend::kDmCxl;
   cfg.num_nodes = 5;
@@ -77,6 +78,7 @@ double RunMicro(TimeNs cxl_latency) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/4, env.Warmup(10 * kMillisecond),
       env.Measure(200 * kMillisecond));
+  BenchObs::Record("micro-32k_" + std::to_string(cxl_latency) + "ns", &sim);
   return res.throughput_rps();
 }
 
@@ -84,6 +86,7 @@ double RunMicro(TimeNs cxl_latency) {
 double RunImageApp(TimeNs cxl_latency) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(13);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = msvc::Backend::kDmCxl;
   cfg.num_nodes = 10;
@@ -97,6 +100,7 @@ double RunImageApp(TimeNs cxl_latency) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, app.MakeRequestFn(client, 4096), /*workers=*/16,
       env.Warmup(30 * kMillisecond), env.Measure(250 * kMillisecond));
+  BenchObs::Record("image-4k_" + std::to_string(cxl_latency) + "ns", &sim);
   return res.throughput_rps();
 }
 

@@ -41,6 +41,7 @@ const Outcome& RunOne(msvc::Backend backend, uint32_t block_bytes) {
   Outcome out;
   for (int phase = 0; phase < 2; ++phase) {
     sim::Simulation sim(29 + phase);
+    BenchObs::Arm(&sim);
     msvc::ClusterConfig cfg;
     cfg.backend = backend;
     cfg.num_nodes = 12;
@@ -61,6 +62,10 @@ const Outcome& RunOne(msvc::Backend backend, uint32_t block_bytes) {
     } else {
       out.mixed_krps = res.throughput_rps() / 1e3;
     }
+    BenchObs::Record(std::string(msvc::BackendName(backend)) + "_" +
+                         std::to_string(block_bytes) + "B_" +
+                         (phase == 0 ? "writes" : "mixed"),
+                     &sim);
   }
   return Cache().emplace(key, out).first->second;
 }

@@ -68,6 +68,7 @@ std::map<int, Outcome>& Cache() {
 Outcome RunRpcStyle(msvc::Backend backend) {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(26);
+  BenchObs::Arm(&sim);
   msvc::ClusterConfig cfg;
   cfg.backend = backend;
   cfg.num_nodes = 5;
@@ -128,6 +129,7 @@ Outcome RunRpcStyle(msvc::Backend backend) {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/1, env.Warmup(10 * kMillisecond),
       env.Measure(200 * kMillisecond));
+  BenchObs::Record(std::string(msvc::BackendName(backend)) + "_share", &sim);
   return Outcome{res.throughput_rps() / 1e3, res.latency.mean() / 1e3, 0.0};
 }
 
@@ -138,6 +140,7 @@ Outcome RunRpcStyle(msvc::Backend backend) {
 Outcome RunDsm() {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(27);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 6);
   dsm::LockServer lock_server(&fabric, 2);
   dmnet::DmServerConfig scfg;
@@ -271,6 +274,7 @@ Outcome RunDsm() {
   if (res.completed > 0) {
     out.sync_ops_per_req = static_cast<double>(sync_ops) / res.completed;
   }
+  BenchObs::Record("dsm_share", &sim);
   return out;
 }
 
@@ -279,6 +283,7 @@ Outcome RunDsm() {
 Outcome RunStore() {
   BenchEnv env = BenchEnv::FromEnv();
   sim::Simulation sim(28);
+  BenchObs::Arm(&sim);
   net::Fabric fabric(&sim, net::NetworkConfig{}, 3);
   datastore::DataStoreNode store0(&fabric, 0);
   datastore::DataStoreNode store1(&fabric, 1);
@@ -350,6 +355,7 @@ Outcome RunStore() {
   msvc::WorkloadResult res = msvc::RunClosedLoop(
       &sim, fn, /*workers=*/1, env.Warmup(10 * kMillisecond),
       env.Measure(400 * kMillisecond));
+  BenchObs::Record("store_share", &sim);
   return Outcome{res.throughput_rps() / 1e3, res.latency.mean() / 1e3, 0.0};
 }
 

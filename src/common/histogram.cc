@@ -25,8 +25,11 @@ int64_t Histogram::BucketUpperBound(int index) {
   int sub = index & (kSubBuckets - 1);
   if (octave == 0) return sub;  // first octave is exact
   // Bucket holds all v with (v >> octave) == sub, i.e.
-  // [sub << octave, ((sub + 1) << octave) - 1].
-  if (octave >= 57) return INT64_MAX;
+  // [sub << octave, ((sub + 1) << octave) - 1]. The highest reachable
+  // bucket is octave 57, sub 63 (values with bit 62 set), whose bound
+  // (64 << 57) - 1 == INT64_MAX still fits; computing it in uint64
+  // keeps every octave-57 bucket tight instead of clamping them all to
+  // INT64_MAX (which over-estimated sub < 63 by up to 2x).
   uint64_t ub = (static_cast<uint64_t>(sub) + 1) << octave;
   return static_cast<int64_t>(ub - 1);
 }
@@ -72,11 +75,14 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   uint64_t target = static_cast<uint64_t>(q * count_);
   if (target >= count_) target = count_ - 1;
+  // Rank 0 is the smallest sample, which is tracked exactly; returning
+  // its bucket's upper bound would over-report the minimum.
+  if (target == 0) return min();
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen > target) {
-      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+      return std::clamp(BucketUpperBound(static_cast<int>(i)), min_, max_);
     }
   }
   return max_;

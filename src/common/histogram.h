@@ -25,12 +25,20 @@ class Histogram {
   uint64_t count() const { return count_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }
+  int64_t sum() const { return sum_; }
   double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
   }
 
-  /// Value at quantile q in [0, 1]; e.g. 0.99 for p99. Returns a bucket
-  /// upper bound, so the result over-estimates by at most ~3%.
+  /// Value at quantile q in [0, 1]; e.g. 0.99 for p99.
+  ///
+  /// Guarantee: the result is the upper bound of the bucket holding the
+  /// sample of rank floor(q * count), clamped to [min(), max()], so it
+  /// never under-estimates and over-estimates by at most one sub-bucket
+  /// width: values < 64 are exact, larger values are off by less than
+  /// 1/kSubBuckets = 1/64 of the next power of two below the value,
+  /// i.e. a relative error under 1/32 ~ 3.1% (the "~3%" quoted in
+  /// DESIGN.md). q <= 0 returns exactly min(), q >= 1 exactly max().
   int64_t ValueAtQuantile(double q) const;
 
   int64_t p50() const { return ValueAtQuantile(0.50); }

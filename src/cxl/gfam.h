@@ -61,6 +61,7 @@ class CxlPort {
   CxlPort& operator=(const CxlPort&) = delete;
 
   GfamDevice* device() { return device_; }
+  sim::Simulation* simulation() { return sim_; }
   const CxlPortStats& stats() const { return stats_; }
   const mem::MemoryConfig& memory_config() const { return memory_; }
 

@@ -19,11 +19,18 @@ HostDmLayer::HostDmLayer(rpc::Rpc* rpc, CxlPort* port,
                          net::Port coordinator_port, HostDmConfig cfg)
     : rpc_(rpc),
       port_(port),
+      sim_(port->simulation()),
       coord_node_(coordinator_node),
       coord_port_(coordinator_port),
       cfg_(cfg),
       page_size_(port->device()->page_size()),
-      va_(cfg.va_base, cfg.va_span, port->device()->page_size()) {}
+      va_(cfg.va_base, cfg.va_span, port->device()->page_size()) {
+  m_faults_ = sim_->metrics().GetCounter("cxl.page_faults");
+  m_cow_copies_ = sim_->metrics().GetCounter("cxl.cow_copies");
+  m_eager_copies_ = sim_->metrics().GetCounter("cxl.eager_copied_pages");
+  m_refills_ = sim_->metrics().GetCounter("cxl.coordinator_refills");
+  m_returns_ = sim_->metrics().GetCounter("cxl.coordinator_returns");
+}
 
 sim::Task<Status> HostDmLayer::Init() {
   DMRPC_CHECK(!initialized_);
@@ -45,6 +52,7 @@ sim::Task<Status> HostDmLayer::RefillFromCoordinator(uint32_t count) {
   uint32_t n = resp->Read<uint32_t>();
   for (uint32_t i = 0; i < n; ++i) free_.push_back(resp->Read<uint32_t>());
   stats_.coordinator_refills++;
+  m_refills_->Inc();
   co_return Status::OK();
 }
 
@@ -60,6 +68,7 @@ sim::Task<Status> HostDmLayer::ReturnToCoordinator(uint32_t count) {
                                   std::move(req));
   if (!resp.ok()) co_return resp.status();
   stats_.coordinator_returns++;
+  m_returns_->Inc();
   co_return dmnet::TakeStatus(&*resp);
 }
 
@@ -147,6 +156,12 @@ sim::Task<StatusOr<Ref>> HostDmLayer::CreateRef(RemoteAddr addr,
       if (!f.ok()) co_return f.status();
       frame = *f;
       stats_.page_faults++;
+      m_faults_->Inc();
+      if (sim_->tracer().enabled()) {
+        sim_->tracer().Instant("dm", "cxl.fault", sim_->Now(),
+                               rpc_->node(),
+                               "{\"vpn\":" + std::to_string(vpn) + "}");
+      }
       co_await sim::Delay(cfg_.fault_ns + cfg_.pte_op_ns);
       std::vector<uint8_t> zeros(page_size_, 0);
       co_await port_->WriteFrame(frame, 0, zeros.data(), page_size_);
@@ -162,6 +177,7 @@ sim::Task<StatusOr<Ref>> HostDmLayer::CreateRef(RemoteAddr addr,
       co_await port_->CopyFrame(frame, *copy);
       (void)co_await port_->AtomicIncRef(*copy);  // the Ref's share
       stats_.eager_copied_pages++;
+      m_eager_copies_->Inc();
       ref.pages.push_back(*copy);
     } else {
       // Copy-on-write: drop write permission so the next local store
@@ -229,6 +245,12 @@ sim::Task<Status> HostDmLayer::Write(RemoteAddr addr, const uint8_t* src,
       auto f = co_await PopLocalFrame();
       if (!f.ok()) co_return f.status();
       stats_.page_faults++;
+      m_faults_->Inc();
+      if (sim_->tracer().enabled()) {
+        sim_->tracer().Instant("dm", "cxl.fault", sim_->Now(),
+                               rpc_->node(),
+                               "{\"vpn\":" + std::to_string(vpn) + "}");
+      }
       co_await sim::Delay(cfg_.fault_ns + cfg_.pte_op_ns);
       (void)co_await port_->AtomicIncRef(*f);  // 0 -> 1
       if (chunk < page_size_) {
@@ -241,13 +263,23 @@ sim::Task<Status> HostDmLayer::Write(RemoteAddr addr, const uint8_t* src,
       // Case 2: read-only page -> permission fault; check the shared
       // reference count with an atomic read.
       stats_.page_faults++;
+      m_faults_->Inc();
       co_await sim::Delay(cfg_.fault_ns);
       uint32_t rc = co_await port_->ReadRefCount(it->second.frame);
       if (rc > 1) {
         // Copy-on-write: new page, copy content, repoint the PTE,
         // atomically drop our share of the old page.
+        uint64_t span = 0;
+        if (sim_->tracer().enabled()) {
+          span = sim_->tracer().BeginSpan(
+              "dm", "cxl.cow_copy", sim_->Now(), rpc_->node(),
+              "{\"vpn\":" + std::to_string(vpn) + "}");
+        }
         auto copy = co_await PopLocalFrame();
-        if (!copy.ok()) co_return copy.status();
+        if (!copy.ok()) {
+          sim_->tracer().EndSpan(span, sim_->Now());
+          co_return copy.status();
+        }
         FrameId old = it->second.frame;
         co_await port_->CopyFrame(old, *copy);
         (void)co_await port_->AtomicIncRef(*copy);  // 0 -> 1
@@ -257,6 +289,8 @@ sim::Task<Status> HostDmLayer::Write(RemoteAddr addr, const uint8_t* src,
         uint32_t old_rc = co_await port_->AtomicDecRef(old);
         if (old_rc == 0) co_await PushLocalFrame(old);
         stats_.cow_copies++;
+        m_cow_copies_->Inc();
+        sim_->tracer().EndSpan(span, sim_->Now());
       } else {
         // Sole owner: just flip the permission flag.
         it->second.writable = true;

@@ -11,6 +11,7 @@
 #include "cxl/gfam.h"
 #include "dm/client.h"
 #include "dm/va_allocator.h"
+#include "obs/metrics.h"
 #include "rpc/rpc.h"
 
 namespace dmrpc::cxl {
@@ -111,6 +112,7 @@ class HostDmLayer : public dm::DmClient {
 
   rpc::Rpc* rpc_;
   CxlPort* port_;
+  sim::Simulation* sim_;
   net::NodeId coord_node_;
   net::Port coord_port_;
   HostDmConfig cfg_;
@@ -126,6 +128,14 @@ class HostDmLayer : public dm::DmClient {
   bool refill_in_flight_ = false;
 
   HostDmStats stats_;
+
+  // Fleet-wide registry aggregates under `cxl.*` (all hosts of a
+  // simulation share these; per-host detail stays in stats_).
+  obs::Counter* m_faults_;
+  obs::Counter* m_cow_copies_;
+  obs::Counter* m_eager_copies_;
+  obs::Counter* m_refills_;
+  obs::Counter* m_returns_;
 };
 
 }  // namespace dmrpc::cxl

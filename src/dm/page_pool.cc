@@ -13,6 +13,24 @@ PagePool::PagePool(uint32_t num_frames, uint32_t page_size)
   for (FrameId f = 0; f < num_frames; ++f) fifo_.push_back(f);
 }
 
+void PagePool::AttachMetrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  if (registry == nullptr) {
+    m_popped_ = nullptr;
+    m_pushed_ = nullptr;
+    m_ref_incs_ = nullptr;
+    m_ref_decs_ = nullptr;
+    m_free_frames_ = nullptr;
+    return;
+  }
+  m_popped_ = registry->GetCounter(prefix + ".frames_popped");
+  m_pushed_ = registry->GetCounter(prefix + ".frames_pushed");
+  m_ref_incs_ = registry->GetCounter(prefix + ".ref_incs");
+  m_ref_decs_ = registry->GetCounter(prefix + ".ref_decs");
+  m_free_frames_ = registry->GetGauge(prefix + ".free_frames");
+  m_free_frames_->Set(static_cast<int64_t>(fifo_.size()));
+}
+
 StatusOr<FrameId> PagePool::PopFree() {
   if (fifo_.empty()) {
     return Status::OutOfMemory("page pool exhausted");
@@ -21,6 +39,10 @@ StatusOr<FrameId> PagePool::PopFree() {
   fifo_.pop_front();
   DMRPC_CHECK_EQ(refcounts_[f], 0u) << "frame on free list has references";
   refcounts_[f] = 1;
+  if (m_popped_ != nullptr) {
+    m_popped_->Inc();
+    m_free_frames_->Set(static_cast<int64_t>(fifo_.size()));
+  }
   return f;
 }
 
@@ -29,6 +51,10 @@ void PagePool::PushFree(FrameId frame) {
   DMRPC_CHECK_EQ(refcounts_[frame], 0u)
       << "freeing frame " << frame << " with live references";
   fifo_.push_back(frame);
+  if (m_pushed_ != nullptr) {
+    m_pushed_->Inc();
+    m_free_frames_->Set(static_cast<int64_t>(fifo_.size()));
+  }
 }
 
 uint8_t* PagePool::FrameData(FrameId frame) {
@@ -48,12 +74,14 @@ uint32_t PagePool::RefCount(FrameId frame) const {
 
 uint32_t PagePool::IncRef(FrameId frame) {
   DMRPC_CHECK_LT(frame, num_frames_);
+  if (m_ref_incs_ != nullptr) m_ref_incs_->Inc();
   return ++refcounts_[frame];
 }
 
 uint32_t PagePool::DecRef(FrameId frame) {
   DMRPC_CHECK_LT(frame, num_frames_);
   DMRPC_CHECK_GT(refcounts_[frame], 0u) << "refcount underflow";
+  if (m_ref_decs_ != nullptr) m_ref_decs_->Inc();
   return --refcounts_[frame];
 }
 

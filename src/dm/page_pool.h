@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace dmrpc::dm {
 
@@ -31,6 +33,14 @@ class PagePool {
   uint32_t page_size() const { return page_size_; }
   uint32_t num_frames() const { return num_frames_; }
   uint32_t free_frames() const { return static_cast<uint32_t>(fifo_.size()); }
+
+  /// Registers this pool's frame-allocation and reference-count-churn
+  /// counters under `<prefix>.{frames_popped,frames_pushed,ref_incs,
+  /// ref_decs}` plus a `<prefix>.free_frames` gauge. The pool has no
+  /// simulation pointer of its own, so the owner (DmServer, Cluster for
+  /// the G-FAM device) attaches the registry. Passing nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix);
 
   /// Pops a frame from the FIFO free list; its refcount becomes 1.
   StatusOr<FrameId> PopFree();
@@ -62,6 +72,13 @@ class PagePool {
   std::vector<uint8_t> storage_;
   std::vector<uint32_t> refcounts_;
   std::deque<FrameId> fifo_;
+
+  // Optional observability hooks (null until AttachMetrics).
+  obs::Counter* m_popped_ = nullptr;
+  obs::Counter* m_pushed_ = nullptr;
+  obs::Counter* m_ref_incs_ = nullptr;
+  obs::Counter* m_ref_decs_ = nullptr;
+  obs::Gauge* m_free_frames_ = nullptr;
 };
 
 }  // namespace dmrpc::dm

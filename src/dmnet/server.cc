@@ -27,6 +27,10 @@ DmServer::DmServer(net::Fabric* fabric, net::NodeId node, net::Port port,
       cores_(cfg.cores) {
   DMRPC_CHECK_LE(cfg_.va_span_per_proc / cfg_.page_size, uint64_t{1} << 32)
       << "VA span too large for 32-bit virtual page numbers";
+  m_faults_ = sim_->metrics().GetCounter("dm.page_faults");
+  m_cow_copies_ = sim_->metrics().GetCounter("dm.cow_copies");
+  m_eager_copies_ = sim_->metrics().GetCounter("dm.eager_copied_pages");
+  pool_.AttachMetrics(&sim_->metrics(), "dm.pool");
   rpc_->RegisterHandler(kRegister, [this](ReqContext c, MsgBuffer m) {
     return HandleRegister(c, std::move(m));
   });
@@ -85,6 +89,12 @@ StatusOr<FrameId> DmServer::FaultIn(uint32_t pid, RemoteAddr page_va) {
   auto frame = pool_.PopFree();
   if (!frame.ok()) return frame.status();
   stats_.page_faults++;
+  m_faults_->Inc();
+  if (sim_->tracer().enabled()) {
+    sim_->tracer().Instant("dm", "dm.fault", sim_->Now(), node_,
+                           "{\"pid\":" + std::to_string(pid) + ",\"page_va\":" +
+                               std::to_string(page_va) + "}");
+  }
   std::memset(pool_.FrameData(*frame), 0, cfg_.page_size);
   pte_[PteKey(pid, page_va)] = *frame;
   return *frame;
@@ -222,6 +232,7 @@ sim::Task<MsgBuffer> DmServer::HandleCreateRef(ReqContext ctx,
       cpu += cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
                                 mem::MemKind::kLocalDram, cfg_.page_size);
       stats_.eager_copied_pages++;
+      m_eager_copies_->Inc();
       entry.frames.push_back(*copy);
     } else {
       // Copy-on-write: the Ref takes one share of each page.
@@ -362,6 +373,13 @@ sim::Task<MsgBuffer> DmServer::HandleWrite(ReqContext ctx, MsgBuffer req) {
         frame = *copy;
         pte_[PteKey(pid, page_va)] = frame;
         stats_.cow_copies++;
+        m_cow_copies_->Inc();
+        if (sim_->tracer().enabled()) {
+          sim_->tracer().Instant(
+              "dm", "dm.cow_copy", sim_->Now(), node_,
+              "{\"pid\":" + std::to_string(pid) + ",\"page_va\":" +
+                  std::to_string(page_va) + "}");
+        }
       }
     }
     req.ReadBytes(pool_.FrameData(frame) + in_page, chunk);

@@ -12,6 +12,7 @@
 #include "dm/va_allocator.h"
 #include "mem/memory_model.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "rpc/rpc.h"
 #include "sim/sync.h"
 
@@ -172,6 +173,12 @@ class DmServer {
 
   mem::BandwidthMeter meter_;
   DmServerStats stats_;
+
+  // Fleet-wide registry aggregates (all DM servers of a simulation share
+  // these; per-server detail stays in stats_).
+  obs::Counter* m_faults_;
+  obs::Counter* m_cow_copies_;
+  obs::Counter* m_eager_copies_;
 };
 
 }  // namespace dmrpc::dmnet

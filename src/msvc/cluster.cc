@@ -34,6 +34,10 @@ ServiceEndpoint::ServiceEndpoint(Cluster* cluster, std::string name,
   const ClusterConfig& cfg = cluster_->config();
   rpc_ = std::make_unique<rpc::Rpc>(cluster_->fabric(), node, port, cfg.rpc);
   rpc_->set_memory_meter(cluster_->node_meter(node));
+  obs::MetricsRegistry& metrics = cluster_->simulation()->metrics();
+  m_service_calls_ = metrics.GetCounter("msvc.service_calls");
+  m_sessions_opened_ = metrics.GetCounter("msvc.sessions_opened");
+  metrics.GetGauge("msvc.services")->Add(1);
 
   switch (cfg.backend) {
     case Backend::kErpc:
@@ -85,7 +89,9 @@ sim::Task<StatusOr<rpc::MsgBuffer>> ServiceEndpoint::CallService(
     auto session = co_await rpc_->Connect(ep->node(), ep->port());
     if (!session.ok()) co_return session.status();
     it = sessions_.emplace(target, *session).first;
+    m_sessions_opened_->Inc();
   }
+  m_service_calls_->Inc();
   co_return co_await rpc_->Call(it->second, req_type, std::move(request));
 }
 
@@ -139,6 +145,7 @@ Cluster::Cluster(sim::Simulation* sim, ClusterConfig cfg)
       cfg_.coordinator_node = cfg_.num_nodes - 1;
     }
     gfam_ = std::make_unique<cxl::GfamDevice>(cfg_.dm_frames, cfg_.page_size);
+    gfam_->pool().AttachMetrics(&sim_->metrics(), "cxl.gfam");
     coordinator_ = std::make_unique<cxl::Coordinator>(
         fabric_.get(), cfg_.coordinator_node, gfam_.get());
     cxl_ports_.resize(cfg_.num_nodes);

@@ -14,6 +14,7 @@
 #include "dmnet/client.h"
 #include "dmnet/server.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "rpc/rpc.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -118,6 +119,9 @@ class ServiceEndpoint {
   std::unique_ptr<core::DmRpc> dmrpc_;
   sim::Semaphore workers_;
   std::unordered_map<std::string, rpc::SessionId> sessions_;
+  // Cluster-wide registry aggregates (shared by every endpoint).
+  obs::Counter* m_service_calls_;
+  obs::Counter* m_sessions_opened_;
 };
 
 /// Owns the simulated datacenter for one experiment: fabric, DM

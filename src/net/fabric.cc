@@ -23,6 +23,19 @@ const char* TraceStageName(TraceStage stage) {
 }
 
 void Fabric::Trace(TraceStage stage, const Packet& pkt) {
+  if (sim_->tracer().enabled()) {
+    // Tx-side stages land on the sender's lane, the rest on the receiver's.
+    uint32_t track =
+        (stage == TraceStage::kNicTx || stage == TraceStage::kOnWire)
+            ? pkt.src
+            : pkt.dst;
+    sim_->tracer().Instant(
+        "net", std::string("net.pkt.") + TraceStageName(stage), sim_->Now(),
+        track,
+        "{\"pkt\":" + std::to_string(pkt.id) + ",\"src\":" +
+            std::to_string(pkt.src) + ",\"dst\":" + std::to_string(pkt.dst) +
+            ",\"bytes\":" + std::to_string(pkt.payload.size()) + "}");
+  }
   if (!trace_) return;
   TraceEvent ev;
   ev.time = sim_->Now();
@@ -40,6 +53,8 @@ Fabric::Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
                uint32_t num_nodes)
     : sim_(sim), cfg_(cfg) {
   DMRPC_CHECK_GT(num_nodes, 0u);
+  m_forwarded_ = sim_->metrics().GetCounter("net.switch.forwarded");
+  m_dropped_ = sim_->metrics().GetCounter("net.switch.dropped");
   nics_.reserve(num_nodes);
   egress_queues_.reserve(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) {
@@ -58,17 +73,20 @@ void Fabric::SendToSwitch(Packet pkt) {
 void Fabric::SwitchIngress(Packet pkt) {
   if (pkt.dst >= num_nodes()) {
     switch_stats_.dropped_unknown_dst++;
+    m_dropped_->Inc();
     Trace(TraceStage::kDropped, pkt);
     return;
   }
   if (drop_filter_ && drop_filter_(pkt)) {
     switch_stats_.dropped_loss++;
+    m_dropped_->Inc();
     Trace(TraceStage::kDropped, pkt);
     return;
   }
   if (cfg_.loss_probability > 0.0 &&
       sim_->rng().Bernoulli(cfg_.loss_probability)) {
     switch_stats_.dropped_loss++;
+    m_dropped_->Inc();
     Trace(TraceStage::kDropped, pkt);
     return;
   }
@@ -84,8 +102,18 @@ sim::Task<> Fabric::EgressPump(NodeId port) {
     // are pipelined (they add delivery delay, not port occupancy).
     TimeNs serialize =
         TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+    uint64_t span = 0;
+    if (sim_->tracer().enabled()) {
+      // Switch egress lanes sit above the node lanes in the trace
+      // (track = 1000 + egress port; see docs/ARCHITECTURE.md).
+      span = sim_->tracer().BeginSpan(
+          "net", "net.switch_egress", sim_->Now(), 1000 + port,
+          "{\"pkt\":" + std::to_string(pkt.id) + "}");
+    }
     co_await sim::Delay(serialize);
+    sim_->tracer().EndSpan(span, sim_->Now());
     switch_stats_.forwarded++;
+    m_forwarded_->Inc();
     Trace(TraceStage::kForwarded, pkt);
     NodeId dst = pkt.dst;
     sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,

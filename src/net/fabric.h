@@ -9,6 +9,7 @@
 #include "net/config.h"
 #include "net/nic.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
 
@@ -82,7 +83,9 @@ class Fabric {
   /// sees every TraceStage of every packet; keep it cheap.
   void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
 
-  /// Called by NICs and the switch at each packet stage.
+  /// Called by NICs and the switch at each packet stage. Feeds both the
+  /// test sink above and, when the simulation's tracer is enabled,
+  /// per-stage instant events on the "net" category.
   void Trace(TraceStage stage, const Packet& pkt);
 
   /// Fresh trace id for a packet.
@@ -105,6 +108,8 @@ class Fabric {
   std::function<bool(const Packet&)> drop_filter_;
   TraceSink trace_;
   uint64_t next_packet_id_ = 1;
+  obs::Counter* m_forwarded_;
+  obs::Counter* m_dropped_;
 };
 
 }  // namespace dmrpc::net

@@ -10,6 +10,12 @@ namespace dmrpc::net {
 Nic::Nic(sim::Simulation* sim, Fabric* fabric, NodeId node,
          const NetworkConfig& cfg)
     : sim_(sim), fabric_(fabric), node_(node), cfg_(cfg) {
+  obs::MetricsRegistry& m = sim_->metrics();
+  m_tx_packets_ = m.GetCounter("net.tx_packets");
+  m_tx_bytes_ = m.GetCounter("net.tx_bytes");
+  m_rx_packets_ = m.GetCounter("net.rx_packets");
+  m_rx_bytes_ = m.GetCounter("net.rx_bytes");
+  m_rx_dropped_ = m.GetCounter("net.rx_dropped_no_listener");
   sim_->Spawn(TxPump());
 }
 
@@ -19,6 +25,8 @@ void Nic::Send(Packet pkt) {
   pkt.id = fabric_->NextPacketId();
   stats_.tx_packets++;
   stats_.tx_bytes += pkt.payload.size();
+  m_tx_packets_->Inc();
+  m_tx_bytes_->Inc(pkt.payload.size());
   fabric_->Trace(TraceStage::kNicTx, pkt);
   tx_queue_.Push(std::move(pkt));
 }
@@ -34,9 +42,12 @@ void Nic::UnbindPort(Port port) { listeners_.erase(port); }
 void Nic::Deliver(Packet pkt) {
   stats_.rx_packets++;
   stats_.rx_bytes += pkt.payload.size();
+  m_rx_packets_->Inc();
+  m_rx_bytes_->Inc(pkt.payload.size());
   auto it = listeners_.find(pkt.dst_port);
   if (it == listeners_.end()) {
     stats_.rx_dropped_no_listener++;
+    m_rx_dropped_->Inc();
     LOG_DEBUG << "node " << node_ << ": no listener on port " << pkt.dst_port;
     return;
   }
@@ -49,7 +60,15 @@ sim::Task<> Nic::TxPump() {
     // NIC processing + wire serialization at link rate.
     TimeNs serialize =
         TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+    uint64_t span = 0;
+    if (sim_->tracer().enabled()) {
+      span = sim_->tracer().BeginSpan(
+          "net", "net.nic_tx", sim_->Now(), node_,
+          "{\"pkt\":" + std::to_string(pkt.id) +
+              ",\"bytes\":" + std::to_string(pkt.payload.size()) + "}");
+    }
     co_await sim::Delay(cfg_.nic_overhead_ns + serialize);
+    sim_->tracer().EndSpan(span, sim_->Now());
     fabric_->Trace(TraceStage::kOnWire, pkt);
     fabric_->SendToSwitch(std::move(pkt));
   }

@@ -6,6 +6,7 @@
 
 #include "net/config.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
 
@@ -58,6 +59,13 @@ class Nic {
   sim::Channel<Packet> tx_queue_;
   std::unordered_map<Port, sim::Channel<Packet>*> listeners_;
   NicStats stats_;
+  // Fleet-wide aggregates in the simulation's registry (cached pointers;
+  // the per-NIC breakdown stays in stats_).
+  obs::Counter* m_tx_packets_;
+  obs::Counter* m_tx_bytes_;
+  obs::Counter* m_rx_packets_;
+  obs::Counter* m_rx_bytes_;
+  obs::Counter* m_rx_dropped_;
 };
 
 }  // namespace dmrpc::net

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace dmrpc::obs {
+
+namespace {
+
+/// JSON string escaping for metric names (names are expected to be plain
+/// identifiers; this keeps the dump well-formed even if they are not).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return &it->second;
+}
+
+Timer* MetricsRegistry::GetTimer(std::string_view name) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), Timer()).first;
+  }
+  return &it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+const Timer* MetricsRegistry::FindTimer(std::string_view name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, t] : timers_) t.Reset();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out;
+  out.reserve(256 + 48 * size());
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(g.value());
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    const Histogram& h = t.hist();
+    // All-integer summary: byte-stable across runs and platforms
+    // (doubles such as mean() are derivable as sum/count offline).
+    out += ":{\"count\":" + std::to_string(h.count());
+    out += ",\"sum\":" + std::to_string(h.sum());
+    out += ",\"min\":" + std::to_string(h.min());
+    out += ",\"p50\":" + std::to_string(h.p50());
+    out += ",\"p90\":" + std::to_string(h.p90());
+    out += ",\"p99\":" + std::to_string(h.p99());
+    out += ",\"p999\":" + std::to_string(h.p999());
+    out += ",\"max\":" + std::to_string(h.max());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dmrpc::obs

@@ -1,0 +1,109 @@
+#ifndef DMRPC_OBS_METRICS_H_
+#define DMRPC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace dmrpc::obs {
+
+/// A monotonically increasing counter (packets sent, retransmits, COW
+/// copies, ...). Incrementing is a plain uint64 add, so instrumented code
+/// can leave counters enabled unconditionally.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time level (free frames, live sessions, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// A Histogram-backed duration metric for virtual-time intervals (slot
+/// wait, credit stall, handler runtime). Record() costs one histogram
+/// bucket increment.
+class Timer {
+ public:
+  void Record(TimeNs ns) { hist_.Record(ns); }
+  const Histogram& hist() const { return hist_; }
+  uint64_t count() const { return hist_.count(); }
+  void Reset() { hist_.Reset(); }
+
+ private:
+  Histogram hist_;
+};
+
+/// A named collection of counters, gauges, and timers.
+///
+/// One registry is owned by each `sim::Simulation`, so every metric a run
+/// produces is derived from the deterministic virtual-time execution:
+/// two identically-seeded runs dump byte-identical JSON. Lookup by name
+/// walks a map; instrumented hot paths call Get* once (typically at
+/// construction) and cache the returned pointer, which stays valid for
+/// the registry's lifetime.
+///
+/// Metric names are dot-separated, lower_snake_case, prefixed by layer:
+/// `net.tx_packets`, `rpc.retransmits`, `dm.pool.cow_copies` (see
+/// docs/ARCHITECTURE.md for the full naming scheme).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric named `name`, creating it at zero on first use.
+  /// The pointer remains valid until the registry is destroyed.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Timer* GetTimer(std::string_view name);
+
+  /// Read-side lookups for tests and reporting. Missing names read as
+  /// zero / null rather than registering anything.
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  const Timer* FindTimer(std::string_view name) const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + timers_.size();
+  }
+
+  /// Zeroes every metric but keeps registrations (and thus cached
+  /// pointers) intact. Used between benchmark phases.
+  void ResetValues();
+
+  /// Dumps every metric as a JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "timers":{"name":{"count":..,"sum":..,"min":..,"p50":..,...}}}
+  /// Keys are sorted and all values are integers, so the output is
+  /// byte-stable across identically-seeded runs and across platforms.
+  std::string DumpJson() const;
+
+ private:
+  // std::map gives sorted, allocation-stable nodes: iteration order is
+  // the dump order and element pointers never move.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+}  // namespace dmrpc::obs
+
+#endif  // DMRPC_OBS_METRICS_H_

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dmrpc::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+/// Renders the common fields of one JSONL record.
+std::string JsonlRecord(const TraceRecord& r, const char* ph) {
+  std::string line = "{\"ph\":\"";
+  line += ph;
+  line += "\",\"ts\":" + std::to_string(r.time);
+  if (r.id != 0) line += ",\"id\":" + std::to_string(r.id);
+  line += ",\"track\":" + std::to_string(r.track);
+  line += ",\"depth\":" + std::to_string(r.depth);
+  line += ",\"cat\":\"";
+  AppendEscaped(&line, r.cat);
+  line += "\",\"name\":\"";
+  AppendEscaped(&line, r.name);
+  line += "\"";
+  if (!r.args.empty()) line += ",\"args\":" + r.args;
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+uint64_t Tracer::BeginSpan(std::string cat, std::string name, TimeNs now,
+                           uint32_t track, std::string args) {
+  if (!enabled_) return 0;
+  if (Full()) {
+    ++dropped_;
+    return 0;
+  }
+  uint64_t id = next_id_++;
+  uint32_t& depth = depth_by_track_[track];
+  TraceRecord rec;
+  rec.phase = TracePhase::kSpanBegin;
+  rec.time = now;
+  rec.id = id;
+  rec.track = track;
+  rec.depth = depth;
+  rec.cat = std::move(cat);
+  rec.name = std::move(name);
+  rec.args = std::move(args);
+  open_.emplace(id, records_.size());
+  records_.push_back(std::move(rec));
+  ++depth;
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id, TimeNs now) {
+  if (id == 0) return;  // disabled or dropped at begin
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // already ended, or Clear()ed
+  const TraceRecord& begin = records_[it->second];
+  TraceRecord rec;
+  rec.phase = TracePhase::kSpanEnd;
+  rec.time = now;
+  rec.id = id;
+  rec.track = begin.track;
+  rec.depth = begin.depth;
+  rec.cat = begin.cat;
+  rec.name = begin.name;
+  open_.erase(it);
+  auto d = depth_by_track_.find(rec.track);
+  if (d != depth_by_track_.end() && d->second > 0) --d->second;
+  if (Full()) {
+    // Record the end even at the limit so no span leaks open; only new
+    // begins/instants are shed.
+    ++dropped_;
+  }
+  records_.push_back(std::move(rec));
+}
+
+void Tracer::Instant(std::string cat, std::string name, TimeNs now,
+                     uint32_t track, std::string args) {
+  if (!enabled_) return;
+  if (Full()) {
+    ++dropped_;
+    return;
+  }
+  TraceRecord rec;
+  rec.time = now;
+  rec.track = track;
+  auto d = depth_by_track_.find(track);
+  rec.depth = d == depth_by_track_.end() ? 0 : d->second;
+  rec.cat = std::move(cat);
+  rec.name = std::move(name);
+  rec.args = std::move(args);
+  records_.push_back(std::move(rec));
+}
+
+uint32_t Tracer::OpenDepth(uint32_t track) const {
+  auto it = depth_by_track_.find(track);
+  return it == depth_by_track_.end() ? 0 : it->second;
+}
+
+void Tracer::Clear() {
+  records_.clear();
+  open_.clear();
+  depth_by_track_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::WriteJsonLines(std::ostream& os) const {
+  for (const TraceRecord& r : records_) {
+    const char* ph = r.phase == TracePhase::kSpanBegin  ? "B"
+                     : r.phase == TracePhase::kSpanEnd ? "E"
+                                                       : "i";
+    os << JsonlRecord(r, ph) << "\n";
+  }
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  // Pair span ends with their begins so spans can be emitted as complete
+  // ("X") events, which viewers render without needing balanced B/E
+  // streams per thread.
+  std::unordered_map<uint64_t, TimeNs> end_time;
+  TimeNs last = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.time > last) last = r.time;
+    if (r.phase == TracePhase::kSpanEnd) end_time.emplace(r.id, r.time);
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceRecord& r : records_) {
+    if (r.phase == TracePhase::kSpanEnd) continue;  // folded into "X"
+    if (!first) os << ",";
+    first = false;
+    std::string ev = "{\"pid\":0,\"tid\":" + std::to_string(r.track);
+    // Chrome timestamps are microseconds; keep ns precision fractionally.
+    std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", r.time / 1000,
+                  static_cast<int>(r.time % 1000));
+    ev += ",\"ts\":";
+    ev += buf;
+    if (r.phase == TracePhase::kSpanBegin) {
+      auto it = end_time.find(r.id);
+      // A span still open at export time extends to the last event.
+      TimeNs dur = (it != end_time.end() ? it->second : last) - r.time;
+      std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", dur / 1000,
+                    static_cast<int>(dur % 1000));
+      ev += ",\"ph\":\"X\",\"dur\":";
+      ev += buf;
+    } else {
+      ev += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    ev += ",\"cat\":\"";
+    AppendEscaped(&ev, r.cat);
+    ev += "\",\"name\":\"";
+    AppendEscaped(&ev, r.name);
+    ev += "\"";
+    if (!r.args.empty()) ev += ",\"args\":" + r.args;
+    ev += "}";
+    os << ev;
+  }
+  os << "]}\n";
+}
+
+}  // namespace dmrpc::obs

@@ -1,0 +1,105 @@
+#ifndef DMRPC_OBS_TRACE_H_
+#define DMRPC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dmrpc::obs {
+
+/// What a recorded trace event marks.
+enum class TracePhase : uint8_t {
+  kSpanBegin = 0,  // a duration opens (rpc call, handler run, NIC tx)
+  kSpanEnd = 1,    // the matching duration closes
+  kInstant = 2,    // a point event (packet drop, page fault, COW copy)
+};
+
+/// One recorded event. Spans are stored as begin/end pairs linked by
+/// `id`; `depth` is the number of spans already open on the same track
+/// when this one began (used to assert nesting in tests).
+struct TraceRecord {
+  TracePhase phase = TracePhase::kInstant;
+  TimeNs time = 0;     // virtual time
+  uint64_t id = 0;     // span id (0 for instants)
+  uint32_t track = 0;  // display lane, conventionally the node id
+  uint32_t depth = 0;  // open-span depth on `track` at begin time
+  std::string cat;     // layer: "sim", "net", "rpc", "dm", "app"
+  std::string name;    // event name, e.g. "rpc.call"
+  std::string args;    // optional JSON object ("{...}"), or empty
+};
+
+/// Records typed spans and instants on the simulation's virtual-time
+/// axis and exports them as JSON-lines or as a Chrome `trace_event` file
+/// loadable in chrome://tracing or https://ui.perfetto.dev.
+///
+/// The tracer is owned by `sim::Simulation` and is purely observational:
+/// recording never schedules events, consumes randomness, or otherwise
+/// perturbs the run, so enabling it cannot change any measured number.
+/// It is disabled by default (Begin/Instant are a single branch); when
+/// enabled it keeps at most `limit()` records in memory and counts the
+/// overflow in dropped().
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Maximum records retained (default 1M ~ 100 MB worst case).
+  size_t limit() const { return limit_; }
+  void set_limit(size_t n) { limit_ = n; }
+
+  /// Opens a span at virtual time `now`; returns its id (0 when the
+  /// tracer is disabled or full -- EndSpan ignores id 0).
+  uint64_t BeginSpan(std::string cat, std::string name, TimeNs now,
+                     uint32_t track = 0, std::string args = "");
+
+  /// Closes span `id` at virtual time `now`.
+  void EndSpan(uint64_t id, TimeNs now);
+
+  /// Records a point event.
+  void Instant(std::string cat, std::string name, TimeNs now,
+               uint32_t track = 0, std::string args = "");
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t dropped() const { return dropped_; }
+
+  /// Spans currently open on `track`.
+  uint32_t OpenDepth(uint32_t track) const;
+
+  void Clear();
+
+  /// One JSON object per line, in record order:
+  ///   {"ph":"B","ts":120,"track":0,"cat":"rpc","name":"rpc.call",...}
+  /// `ts` is virtual nanoseconds. Machine-oriented; diffable.
+  void WriteJsonLines(std::ostream& os) const;
+
+  /// Chrome trace_event JSON (the `{"traceEvents":[...]}` form). Spans
+  /// become complete ("X") slices with microsecond timestamps, instants
+  /// become "i" events; the track maps to `tid` and layers ("cat") are
+  /// preserved for filtering in the viewer.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  bool Full() const { return records_.size() >= limit_; }
+
+  bool enabled_ = false;
+  size_t limit_ = 1u << 20;
+  uint64_t next_id_ = 1;
+  size_t dropped_ = 0;
+  std::vector<TraceRecord> records_;
+  /// id -> index of the kSpanBegin record (dropped on EndSpan).
+  std::unordered_map<uint64_t, size_t> open_;
+  std::unordered_map<uint32_t, uint32_t> depth_by_track_;
+};
+
+}  // namespace dmrpc::obs
+
+#endif  // DMRPC_OBS_TRACE_H_

@@ -21,6 +21,19 @@ Rpc::Rpc(net::Fabric* fabric, net::NodeId node, net::Port port, RpcConfig cfg)
   DMRPC_CHECK_GT(cfg_.credits, 0);
   DMRPC_CHECK_GT(cfg_.session_slots, 0);
   DMRPC_CHECK_GT(max_data_per_packet(), 0u);
+  obs::MetricsRegistry& m = sim_->metrics();
+  m_requests_sent_ = m.GetCounter("rpc.requests_sent");
+  m_responses_ = m.GetCounter("rpc.responses_received");
+  m_requests_handled_ = m.GetCounter("rpc.requests_handled");
+  m_retransmits_ = m.GetCounter("rpc.retransmits");
+  m_timeouts_ = m.GetCounter("rpc.timeouts");
+  m_credit_stalls_ = m.GetCounter("rpc.credit_stalls");
+  m_tx_packets_ = m.GetCounter("rpc.tx_packets");
+  m_rx_packets_ = m.GetCounter("rpc.rx_packets");
+  m_call_ns_ = m.GetTimer("rpc.call");
+  m_slot_wait_ns_ = m.GetTimer("rpc.slot_wait");
+  m_credit_stall_ns_ = m.GetTimer("rpc.credit_stall");
+  m_handler_ns_ = m.GetTimer("rpc.handler");
   fabric_->nic(node_)->BindPort(port_, &inbox_);
   sim_->Spawn(Dispatch());
   sim_->Spawn(RetransmitScanner());
@@ -52,6 +65,7 @@ void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
     pkt.payload.insert(pkt.payload.end(), frag, frag + frag_len);
   }
   stats_.tx_packets++;
+  m_tx_packets_->Inc();
   if (meter_ != nullptr) {
     meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
   }
@@ -208,7 +222,17 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
     if (!st.ok()) co_return st;
   }
 
+  const TimeNs call_start = sim_->Now();
+  uint64_t call_span = 0;
+  if (sim_->tracer().enabled()) {
+    call_span = sim_->tracer().BeginSpan(
+        "rpc", "rpc.call", call_start, node_,
+        "{\"session\":" + std::to_string(session) +
+            ",\"req_type\":" + std::to_string(req_type) +
+            ",\"bytes\":" + std::to_string(request.size()) + "}");
+  }
   co_await sess.slot_sem->Acquire();
+  m_slot_wait_ns_->Record(sim_->Now() - call_start);
   int slot_idx = -1;
   for (size_t i = 0; i < sess.slots.size(); ++i) {
     if (!sess.slots[i].busy) {
@@ -236,6 +260,7 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   ++pending_ops_;
   KickScanner();
   stats_.requests_sent++;
+  m_requests_sent_->Inc();
   co_await SendRequestPackets(session, slot_idx, /*is_retransmit=*/false);
 
   Status st = co_await slot.done->Wait();
@@ -244,6 +269,8 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   slot.request.Clear();
   slot.busy = false;
   sess.slot_sem->Release();
+  m_call_ns_->Record(sim_->Now() - call_start);
+  sim_->tracer().EndSpan(call_span, sim_->Now());
   if (!st.ok()) co_return st;
   co_return response;
 }
@@ -260,7 +287,14 @@ sim::Task<> Rpc::SendRequestPackets(SessionId session_id, int slot_idx,
 
   for (uint16_t i = 0; i < num_pkts; ++i) {
     if (!is_retransmit) {
+      const TimeNs credit_wait_start = sim_->Now();
       co_await sess.credits->Acquire();
+      const TimeNs stalled = sim_->Now() - credit_wait_start;
+      if (stalled > 0) {
+        stats_.credit_stalls++;
+        m_credit_stalls_->Inc();
+        m_credit_stall_ns_->Record(stalled);
+      }
       // The request may have failed (timeout) while we waited for a
       // credit; put the permit back and stop.
       if (!slot.busy || slot.req_id != req_id) {
@@ -330,6 +364,7 @@ void Rpc::OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
   slot.resp_pkts++;
   if (slot.resp_pkts == slot.resp_total) {
     stats_.responses_received++;
+    m_responses_->Inc();
     FinishSlot(sess, slot, Status::OK());
   }
 }
@@ -399,6 +434,7 @@ sim::Task<> Rpc::RetransmitScanner() {
           now - sess.last_connect_tx >= cfg_.rto_ns) {
         if (sess.connect_retries >= cfg_.max_retries) {
           stats_.timeouts++;
+          m_timeouts_->Inc();
           sess.closed = true;
           --pending_ops_;
           sess.connect_done->Set(Status::TimedOut("connect timed out"));
@@ -406,6 +442,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         }
         sess.connect_retries++;
         stats_.retransmits++;
+        m_retransmits_->Inc();
         PacketHeader hdr;
         hdr.msg_type = MsgType::kConnect;
         hdr.session_id = static_cast<uint16_t>(si);
@@ -419,6 +456,7 @@ sim::Task<> Rpc::RetransmitScanner() {
           now - sess.last_connect_tx >= cfg_.rto_ns) {
         if (sess.connect_retries >= cfg_.max_retries) {
           stats_.timeouts++;
+          m_timeouts_->Inc();
           sess.closed = true;
           sess.closing = false;
           --pending_ops_;
@@ -427,6 +465,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         }
         sess.connect_retries++;
         stats_.retransmits++;
+        m_retransmits_->Inc();
         PacketHeader hdr;
         hdr.msg_type = MsgType::kDisconnect;
         hdr.session_id = sess.remote_session_id;
@@ -445,11 +484,19 @@ sim::Task<> Rpc::RetransmitScanner() {
         if (now - slot.last_tx < cfg_.rto_ns) continue;
         if (slot.retries >= cfg_.max_retries) {
           stats_.timeouts++;
+          m_timeouts_->Inc();
           FinishSlot(sess, slot, Status::TimedOut("request timed out"));
           continue;
         }
         slot.retries++;
         stats_.retransmits++;
+        m_retransmits_->Inc();
+        if (sim_->tracer().enabled()) {
+          sim_->tracer().Instant(
+              "rpc", "rpc.retransmit", now, node_,
+              "{\"req_id\":" + std::to_string(slot.req_id) +
+                  ",\"retry\":" + std::to_string(slot.retries) + "}");
+        }
         slot.last_tx = now;
         sim_->Spawn(SendRequestPackets(static_cast<SessionId>(si),
                                        static_cast<int>(k),
@@ -566,8 +613,19 @@ sim::Task<> Rpc::RunHandler(uint16_t server_session_id, int slot_idx,
   ctx.peer_port = sess->remote_port;
   ctx.req_type = req_type;
   stats_.requests_handled++;
+  m_requests_handled_->Inc();
 
+  const TimeNs handler_start = sim_->Now();
+  uint64_t handler_span = 0;
+  if (sim_->tracer().enabled()) {
+    handler_span = sim_->tracer().BeginSpan(
+        "rpc", "rpc.handler", handler_start, node_,
+        "{\"req_type\":" + std::to_string(req_type) +
+            ",\"req_id\":" + std::to_string(req_id) + "}");
+  }
   MsgBuffer resp = co_await handlers_[req_type](ctx, std::move(req));
+  m_handler_ns_->Record(sim_->Now() - handler_start);
+  sim_->tracer().EndSpan(handler_span, sim_->Now());
 
   // The session may have been torn down or the slot reused while the
   // handler ran.
@@ -623,6 +681,7 @@ sim::Task<> Rpc::Dispatch() {
   for (;;) {
     net::Packet pkt = co_await inbox_.Pop();
     stats_.rx_packets++;
+    m_rx_packets_->Inc();
     if (meter_ != nullptr) {
       meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
     }

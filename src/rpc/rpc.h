@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "mem/memory_model.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "rpc/wire.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
@@ -57,7 +58,11 @@ struct ReqContext {
 /// CPU time with sim::Delay, call other RPCs, touch DM, ...).
 using Handler = std::function<sim::Task<MsgBuffer>(ReqContext, MsgBuffer)>;
 
-/// Endpoint-wide counters.
+/// Endpoint-wide counters. The same events also feed the simulation's
+/// MetricsRegistry under `rpc.*` names (aggregated across endpoints),
+/// plus registry-only timers for session-level waits: `rpc.slot_wait`
+/// (time a Call queues for a free session slot) and `rpc.credit_stall`
+/// (time a request packet waits for flow-control credits).
 struct RpcStats {
   uint64_t requests_sent = 0;
   uint64_t responses_received = 0;
@@ -68,6 +73,8 @@ struct RpcStats {
   uint64_t stale_packets = 0;
   uint64_t tx_packets = 0;
   uint64_t rx_packets = 0;
+  /// Times a request packet had to wait for a flow-control credit.
+  uint64_t credit_stalls = 0;
 };
 
 /// A datacenter RPC endpoint bound to one (host, UDP port) pair --
@@ -232,6 +239,21 @@ class Rpc {
 
   mem::BandwidthMeter* meter_ = nullptr;
   RpcStats stats_;
+
+  // Cached registry metrics (fleet-wide aggregates; per-endpoint detail
+  // stays in stats_).
+  obs::Counter* m_requests_sent_;
+  obs::Counter* m_responses_;
+  obs::Counter* m_requests_handled_;
+  obs::Counter* m_retransmits_;
+  obs::Counter* m_timeouts_;
+  obs::Counter* m_credit_stalls_;
+  obs::Counter* m_tx_packets_;
+  obs::Counter* m_rx_packets_;
+  obs::Timer* m_call_ns_;
+  obs::Timer* m_slot_wait_ns_;
+  obs::Timer* m_credit_stall_ns_;
+  obs::Timer* m_handler_ns_;
 };
 
 }  // namespace dmrpc::rpc

@@ -10,6 +10,8 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/task.h"
 
 namespace dmrpc::sim {
@@ -81,6 +83,23 @@ class Simulation {
   /// Simulation-wide deterministic random source.
   Rng& rng() { return rng_; }
 
+  /// The run's metrics registry. Every layer built on this simulation
+  /// (fabric, RPC endpoints, DM substrate, cluster) registers its
+  /// counters/gauges/timers here, so one dump captures the whole run and
+  /// identically-seeded runs dump byte-identical JSON.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The run's event tracer (disabled by default; recording is purely
+  /// observational and never perturbs the simulation).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Dumps the metrics registry plus the simulator's own counters
+  /// (events executed, live tasks) as one JSON object. This is what
+  /// bench/bench_util writes as each benchmark's metrics sidecar.
+  std::string DumpMetricsJson();
+
  private:
   friend void internal::NotifyDetachedDone(Simulation* sim,
                                            std::coroutine_handle<> h);
@@ -109,6 +128,8 @@ class Simulation {
   uint64_t executed_ = 0;
   int64_t live_tasks_ = 0;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
 };
 
 /// Awaitable that resumes the current coroutine after `delay` virtual ns.

@@ -257,6 +257,64 @@ TEST(HistogramTest, LargeValuesDoNotOverflow) {
   EXPECT_GE(h.p999(), 0);
 }
 
+TEST(HistogramTest, QuantileEdgesAreExactMinMax) {
+  Histogram h;
+  h.Record(123);
+  h.Record(456789);
+  h.Record(987654321);
+  // q=0 is the exact recorded minimum; q=1 clamps to the exact maximum
+  // rather than the containing bucket's (larger) upper bound.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 123);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 987654321);
+}
+
+TEST(HistogramTest, SingleSampleAllQuantiles) {
+  Histogram h;
+  h.Record(1000003);  // not a power of two: bucket bound != value
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 1000003) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileNeverUnderEstimates) {
+  // The log-linear scheme rounds values up to a bucket upper bound, so
+  // any quantile is >= the exact order statistic and over by <= 1/32.
+  Histogram h;
+  Rng rng(23);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Uniform(1u << 24)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact + exact / 32 + 1) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileEdgesSurviveMerge) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.Record(7);
+  for (int i = 0; i < 50; ++i) b.Record(300000);
+  a.Merge(b);
+  EXPECT_EQ(a.ValueAtQuantile(0.0), 7);
+  EXPECT_EQ(a.ValueAtQuantile(1.0), 300000);
+  EXPECT_EQ(a.sum(), 50 * 7 + 50 * int64_t{300000});
+}
+
+TEST(HistogramTest, SumIsExact) {
+  Histogram h;
+  EXPECT_EQ(h.sum(), 0);
+  h.Record(1);
+  h.Record(2);
+  h.Record((int64_t{1} << 40) + 12345);
+  EXPECT_EQ(h.sum(), 3 + ((int64_t{1} << 40) + 12345));
+}
+
 /// Property sweep: for any scale, quantile error stays within ~3.2%.
 class HistogramScaleTest : public ::testing::TestWithParam<int64_t> {};
 

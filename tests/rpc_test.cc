@@ -261,6 +261,11 @@ TEST_F(RpcTest, ConnectToDeadHostTimesOut) {
   EXPECT_FALSE(resp.ok());
   EXPECT_TRUE(resp.status().IsTimedOut());
   EXPECT_GE(client_.stats().retransmits, 5u);
+  // The forced retransmissions also land in the simulation-wide metrics
+  // registry (same counts as the per-endpoint stats here: one endpoint).
+  EXPECT_EQ(sim_.metrics().CounterValue("rpc.retransmits"),
+            client_.stats().retransmits);
+  EXPECT_GE(sim_.metrics().CounterValue("rpc.timeouts"), 1u);
 }
 
 // ---------------------------------------------------------------------------
