@@ -1,0 +1,353 @@
+// Wall-clock microbenchmark suite for the simulation engine hot paths.
+//
+// Unlike the fig*/abl* benches (which reproduce paper figures in virtual
+// time), this suite measures how fast the simulator itself executes on the
+// host: events per wall-clock second across three workloads that stress the
+// scheduler, the packet path, and the full RPC stack:
+//
+//   event_churn        timers + callback chains, no network
+//   packet_forwarding  raw NIC -> switch -> NIC traffic, no RPC
+//   rpc_echo_storm     concurrent small-message RPC echo calls
+//
+// Each scenario runs a fixed, seeded virtual-time workload, so its virtual
+// results (executed event count, full metrics JSON) are bit-reproducible;
+// the FNV-1a hash of the metrics dump is recorded to prove that engine
+// optimizations never change simulated behavior. Results are written to a
+// BENCH_simcore.json sidecar (override the path with DMRPC_SIMCORE_JSON)
+// together with the pre-overhaul baseline, establishing the repo's
+// wall-clock perf trajectory.
+//
+// Usage: bench_simcore [--smoke]   (smoke = ~10x shorter, for CI)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "net/config.h"
+#include "net/fabric.h"
+#include "rpc/rpc.h"
+#include "sim/channel.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace dmrpc::bench {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+/// FNV-1a over the metrics JSON: a compact determinism fingerprint.
+uint64_t Fnv64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct RunResult {
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  uint64_t metrics_fnv = 0;
+
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? events / (wall_ms / 1e3) : 0.0;
+  }
+};
+
+/// Baseline numbers recorded on the pre-overhaul engine (commit 92ae1b5:
+/// std::function events in a binary std::priority_queue, std::vector packet
+/// payloads), Release -O2. wall_ms was measured with baseline and current
+/// binaries run back-to-back in alternation on the same host (averaged
+/// over four interleaved pairs) so both sides see the same machine
+/// conditions; it is only meaningful relative to a fresh run on that host.
+/// metrics_fnv is machine-independent and must match exactly.
+struct BaselineEntry {
+  const char* scenario;
+  RunResult full;
+  RunResult smoke;
+};
+
+constexpr uint64_t kNoBaseline = 0;
+
+BaselineEntry kBaseline[] = {
+    // {scenario, {events, wall_ms, metrics_fnv}, {events, wall_ms, fnv}}
+    {"event_churn",
+     {3479858, 404.33, 0x6ef029b9bf1eef7fULL},
+     {347993, 45.23, 0x504dad3d498e123eULL}},
+    {"packet_forwarding",
+     {1279944, 95.82, 0x95d1f1016a3af0e5ULL},
+     {127944, 11.62, 0x925d9217389b5139ULL}},
+    {"rpc_echo_storm",
+     {2097230, 223.19, 0x736cc005013d9ad5ULL},
+     {209658, 24.96, 0x184c6bea85c15ee7ULL}},
+};
+
+const BaselineEntry* FindBaseline(const std::string& scenario) {
+  for (const BaselineEntry& e : kBaseline) {
+    if (scenario == e.scenario) return &e;
+  }
+  return nullptr;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: event churn (scheduler-only hot loop)
+// ---------------------------------------------------------------------------
+
+sim::Task<> TimerLoop(sim::Simulation* sim, TimeNs period, TimeNs deadline) {
+  while (sim->Now() + period <= deadline) {
+    co_await sim::Delay(period);
+  }
+}
+
+/// A self-rescheduling callback chain: one live event per chain at any
+/// instant, stressing the push/pop path with small inlined callbacks.
+struct CallbackChain {
+  sim::Simulation* sim;
+  TimeNs period;
+  TimeNs deadline;
+  void Step() {
+    if (sim->Now() + period > deadline) return;
+    sim->After(period, [this] { Step(); });
+  }
+};
+
+RunResult RunEventChurn(bool smoke) {
+  const TimeNs window = (smoke ? 2 : 20) * kMillisecond;
+  sim::Simulation sim(kSeed);
+  std::vector<CallbackChain> chains;
+  chains.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    // Periods 100..1703 ns, co-prime-ish so heap order keeps churning.
+    sim.Spawn(TimerLoop(&sim, 100 + 37 * i, window));
+    chains.push_back(CallbackChain{&sim, 113 + 41 * i, window});
+  }
+  for (CallbackChain& c : chains) c.Step();
+
+  WallTimer wall;
+  sim.RunUntil(window);
+  RunResult res;
+  res.wall_ms = wall.ElapsedMs();
+  res.events = sim.executed_events();
+  res.metrics_fnv = Fnv64(sim.DumpMetricsJson());
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: packet forwarding (NIC -> switch -> NIC, no RPC)
+// ---------------------------------------------------------------------------
+
+sim::Task<> PacketSender(sim::Simulation* sim, net::Fabric* fabric,
+                         net::NodeId src, net::NodeId dst, uint32_t bytes,
+                         TimeNs gap, TimeNs deadline) {
+  while (sim->Now() + gap <= deadline) {
+    co_await sim::Delay(gap);
+    net::Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.src_port = 9;
+    pkt.dst_port = 80;
+    pkt.payload.assign(bytes, 0xab);
+    fabric->nic(src)->Send(std::move(pkt));
+  }
+}
+
+sim::Task<> PacketDrain(sim::Channel<net::Packet>* inbox, uint64_t* bytes) {
+  for (;;) {
+    net::Packet pkt = co_await inbox->Pop();
+    *bytes += pkt.payload_size();
+  }
+}
+
+RunResult RunPacketForwarding(bool smoke) {
+  const TimeNs window = (smoke ? 1 : 10) * kMillisecond;
+  constexpr uint32_t kNodes = 8;
+  sim::Simulation sim(kSeed);
+  net::NetworkConfig cfg;
+  net::Fabric fabric(&sim, cfg, kNodes);
+  std::vector<std::unique_ptr<sim::Channel<net::Packet>>> inboxes;
+  uint64_t drained_bytes = 0;
+  for (uint32_t n = 0; n < kNodes; ++n) {
+    inboxes.push_back(std::make_unique<sim::Channel<net::Packet>>());
+    fabric.nic(n)->BindPort(80, inboxes.back().get());
+    sim.Spawn(PacketDrain(inboxes.back().get(), &drained_bytes));
+  }
+  for (uint32_t n = 0; n < kNodes; ++n) {
+    sim.Spawn(PacketSender(&sim, &fabric, n, (n + 1) % kNodes,
+                           /*bytes=*/1000, /*gap=*/500, window));
+  }
+
+  WallTimer wall;
+  sim.RunUntil(window);
+  RunResult res;
+  res.wall_ms = wall.ElapsedMs();
+  res.events = sim.executed_events();
+  res.metrics_fnv = Fnv64(sim.DumpMetricsJson());
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: RPC echo storm (full stack)
+// ---------------------------------------------------------------------------
+
+sim::Task<rpc::MsgBuffer> EchoHandler(rpc::ReqContext, rpc::MsgBuffer req) {
+  co_return req;
+}
+
+sim::Task<> EchoWorker(sim::Simulation* sim, rpc::Rpc* client,
+                       rpc::SessionId session, TimeNs deadline,
+                       uint64_t* calls) {
+  while (sim->Now() < deadline) {
+    rpc::MsgBuffer req;
+    for (int i = 0; i < 8; ++i) req.Append<uint64_t>(i);  // 64 B
+    auto resp = co_await client->Call(session, 1, std::move(req));
+    DMRPC_CHECK(resp.ok());
+    ++*calls;
+  }
+}
+
+sim::Task<> EchoClient(sim::Simulation* sim, rpc::Rpc* client,
+                       net::NodeId server, TimeNs deadline, uint64_t* calls) {
+  auto session = co_await client->Connect(server, 1);
+  DMRPC_CHECK(session.ok());
+  for (int w = 0; w < 4; ++w) {
+    sim->Spawn(EchoWorker(sim, client, *session, deadline, calls));
+  }
+}
+
+RunResult RunRpcEchoStorm(bool smoke) {
+  const TimeNs window = (smoke ? 2 : 20) * kMillisecond;
+  constexpr uint32_t kClients = 4;
+  sim::Simulation sim(kSeed);
+  net::NetworkConfig cfg;
+  net::Fabric fabric(&sim, cfg, kClients + 1);
+  rpc::Rpc server(&fabric, 0, 1);
+  server.RegisterHandler(1, EchoHandler);
+  std::vector<std::unique_ptr<rpc::Rpc>> clients;
+  uint64_t calls = 0;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<rpc::Rpc>(&fabric, c + 1, 1));
+    sim.Spawn(EchoClient(&sim, clients.back().get(), 0, window, &calls));
+  }
+
+  WallTimer wall;
+  sim.RunUntil(window + 1 * kMillisecond);  // drain in-flight tails
+  RunResult res;
+  res.wall_ms = wall.ElapsedMs();
+  res.events = sim.executed_events();
+  res.metrics_fnv = Fnv64(sim.DumpMetricsJson());
+  DMRPC_CHECK_GT(calls, 0u);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+  const char* name;
+  RunResult (*run)(bool smoke);
+};
+
+const Scenario kScenarios[] = {
+    {"event_churn", RunEventChurn},
+    {"packet_forwarding", RunPacketForwarding},
+    {"rpc_echo_storm", RunRpcEchoStorm},
+};
+
+std::string JsonRun(const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"events\": %llu, \"wall_ms\": %.3f, "
+                "\"events_per_sec\": %.0f, \"metrics_fnv64\": \"%016llx\"}",
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec(),
+                static_cast<unsigned long long>(r.metrics_fnv));
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (const char* env = std::getenv("DMRPC_SIMCORE_SMOKE")) {
+    if (env[0] != '\0' && env[0] != '0') smoke = true;
+  }
+  const char* json_path = std::getenv("DMRPC_SIMCORE_JSON");
+  if (json_path == nullptr) json_path = "BENCH_simcore.json";
+
+  std::printf("simcore wall-clock suite (%s mode)\n",
+              smoke ? "smoke" : "full");
+  std::printf("%-20s %12s %10s %14s %10s %8s\n", "scenario", "events",
+              "wall_ms", "events/sec", "speedup", "determ");
+
+  std::string runs_json, base_json, speedup_json;
+  bool all_deterministic = true;
+  for (const Scenario& sc : kScenarios) {
+    RunResult r = sc.run(smoke);
+    const BaselineEntry* be = FindBaseline(sc.name);
+    const RunResult* base = nullptr;
+    if (be != nullptr) base = smoke ? &be->smoke : &be->full;
+    double speedup = 0.0;
+    const char* determ = "n/a";
+    if (base != nullptr && base->metrics_fnv != kNoBaseline) {
+      if (base->wall_ms > 0.0 && r.wall_ms > 0.0) {
+        speedup = base->wall_ms / r.wall_ms;
+      }
+      bool same = base->metrics_fnv == r.metrics_fnv &&
+                  base->events == r.events;
+      determ = same ? "ok" : "DIFF";
+      if (!same) all_deterministic = false;
+    }
+    std::printf("%-20s %12llu %10.2f %14.0f %9.2fx %8s\n", sc.name,
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec(), speedup, determ);
+
+    if (!runs_json.empty()) {
+      runs_json += ",\n    ";
+      base_json += ",\n    ";
+      speedup_json += ", ";
+    }
+    runs_json += std::string("\"") + sc.name + "\": " + JsonRun(r);
+    base_json += std::string("\"") + sc.name + "\": " +
+                 (base != nullptr ? JsonRun(*base) : "null");
+    char sbuf[64];
+    std::snprintf(sbuf, sizeof(sbuf), "\"%s\": %.2f", sc.name, speedup);
+    speedup_json += sbuf;
+  }
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"simcore\",\n  \"mode\": \""
+      << (smoke ? "smoke" : "full") << "\",\n  \"runs\": {\n    "
+      << runs_json << "\n  },\n  \"baseline\": {\n    " << base_json
+      << "\n  },\n  \"speedup_vs_baseline\": { " << speedup_json
+      << " },\n  \"deterministic_vs_baseline\": "
+      << (all_deterministic ? "true" : "false") << "\n}\n";
+  out.close();
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmrpc::bench
+
+int main(int argc, char** argv) { return dmrpc::bench::Main(argc, argv); }

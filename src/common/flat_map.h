@@ -1,0 +1,135 @@
+#ifndef DMRPC_COMMON_FLAT_MAP_H_
+#define DMRPC_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dmrpc {
+
+/// Open-addressing hash map from uint64_t keys to small values.
+///
+/// Replaces tree-based std::map on lookup paths where the key packs into
+/// one machine word (e.g. the RPC server's (node, port, session) index:
+/// node<<32 | port<<16 | session). Linear probing over a flat
+/// power-of-two table keeps a successful lookup to one or two cache
+/// lines, versus a pointer chase per tree level. Deletion uses
+/// tombstones; the table rehashes when full+deleted slots pass 3/4 of
+/// capacity, which also purges tombstones.
+///
+/// All uint64_t key values are valid (slot state is tracked separately).
+/// Iteration order is unspecified; the map is not a drop-in std::map.
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr if absent. Stable only
+  /// until the next Insert (which may rehash).
+  V* Find(uint64_t key) {
+    if (size_ == 0) return nullptr;
+    size_t i = Hash(key) & mask_;
+    for (;;) {
+      if (states_[i] == kEmpty) return nullptr;
+      if (states_[i] == kFull && keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  /// Inserts key -> value, overwriting any existing entry.
+  void Insert(uint64_t key, V value) {
+    if (states_.empty() || (used_ + 1) * 4 > states_.size() * 3) {
+      Rehash();
+    }
+    size_t i = Hash(key) & mask_;
+    size_t insert_at = SIZE_MAX;
+    for (;;) {
+      if (states_[i] == kEmpty) break;
+      if (states_[i] == kFull && keys_[i] == key) {
+        values_[i] = std::move(value);
+        return;
+      }
+      if (states_[i] == kTombstone && insert_at == SIZE_MAX) insert_at = i;
+      i = (i + 1) & mask_;
+    }
+    if (insert_at == SIZE_MAX) {
+      insert_at = i;
+      ++used_;  // consuming an empty slot, not a tombstone
+    }
+    states_[insert_at] = kFull;
+    keys_[insert_at] = key;
+    values_[insert_at] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(uint64_t key) {
+    if (size_ == 0) return false;
+    size_t i = Hash(key) & mask_;
+    for (;;) {
+      if (states_[i] == kEmpty) return false;
+      if (states_[i] == kFull && keys_[i] == key) {
+        states_[i] = kTombstone;
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kFull = 1;
+  static constexpr uint8_t kTombstone = 2;
+
+  /// splitmix64 finalizer: cheap, full-avalanche mix so packed bitfield
+  /// keys spread over the table.
+  static uint64_t Hash(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void Rehash() {
+    size_t new_cap = states_.empty() ? 16 : states_.size() * 2;
+    // If most used slots are tombstones, same-size rehash suffices.
+    if (!states_.empty() && size_ * 2 < states_.size()) {
+      new_cap = states_.size();
+    }
+    std::vector<uint8_t> old_states = std::move(states_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    states_.assign(new_cap, kEmpty);
+    keys_.assign(new_cap, 0);
+    values_.assign(new_cap, V());
+    mask_ = new_cap - 1;
+    size_ = 0;
+    used_ = 0;
+    for (size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] == kFull) {
+        Insert(old_keys[i], std::move(old_values[i]));
+      }
+    }
+  }
+
+  std::vector<uint8_t> states_;
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // kFull slots
+  size_t used_ = 0;  // kFull + kTombstone slots
+};
+
+}  // namespace dmrpc
+
+#endif  // DMRPC_COMMON_FLAT_MAP_H_

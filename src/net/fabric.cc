@@ -22,7 +22,7 @@ const char* TraceStageName(TraceStage stage) {
   return "?";
 }
 
-void Fabric::Trace(TraceStage stage, const Packet& pkt) {
+void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
   if (sim_->tracer().enabled()) {
     // Tx-side stages land on the sender's lane, the rest on the receiver's.
     uint32_t track =

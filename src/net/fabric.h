@@ -85,8 +85,12 @@ class Fabric {
 
   /// Called by NICs and the switch at each packet stage. Feeds both the
   /// test sink above and, when the simulation's tracer is enabled,
-  /// per-stage instant events on the "net" category.
-  void Trace(TraceStage stage, const Packet& pkt);
+  /// per-stage instant events on the "net" category. Inline early-out:
+  /// this runs several times per packet and tracing is usually off.
+  void Trace(TraceStage stage, const Packet& pkt) {
+    if (trace_ == nullptr && !sim_->tracer().enabled()) return;
+    TraceSlow(stage, pkt);
+  }
 
   /// Fresh trace id for a packet.
   uint64_t NextPacketId() { return next_packet_id_++; }
@@ -98,6 +102,7 @@ class Fabric {
  private:
   sim::Task<> EgressPump(NodeId port);
   void SwitchIngress(Packet pkt);
+  void TraceSlow(TraceStage stage, const Packet& pkt);
 
   sim::Simulation* sim_;
   NetworkConfig cfg_;

@@ -32,26 +32,26 @@ void Nic::Send(Packet pkt) {
 }
 
 void Nic::BindPort(Port port, sim::Channel<Packet>* inbox) {
-  auto [it, inserted] = listeners_.emplace(port, inbox);
-  DMRPC_CHECK(inserted) << "port " << port << " already bound on node "
-                        << node_;
+  DMRPC_CHECK(listeners_.Find(port) == nullptr)
+      << "port " << port << " already bound on node " << node_;
+  listeners_.Insert(port, inbox);
 }
 
-void Nic::UnbindPort(Port port) { listeners_.erase(port); }
+void Nic::UnbindPort(Port port) { listeners_.Erase(port); }
 
 void Nic::Deliver(Packet pkt) {
   stats_.rx_packets++;
   stats_.rx_bytes += pkt.payload.size();
   m_rx_packets_->Inc();
   m_rx_bytes_->Inc(pkt.payload.size());
-  auto it = listeners_.find(pkt.dst_port);
-  if (it == listeners_.end()) {
+  sim::Channel<Packet>** inbox = listeners_.Find(pkt.dst_port);
+  if (inbox == nullptr) {
     stats_.rx_dropped_no_listener++;
     m_rx_dropped_->Inc();
     LOG_DEBUG << "node " << node_ << ": no listener on port " << pkt.dst_port;
     return;
   }
-  it->second->Push(std::move(pkt));
+  (*inbox)->Push(std::move(pkt));
 }
 
 sim::Task<> Nic::TxPump() {

@@ -2,8 +2,8 @@
 #define DMRPC_NET_NIC_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "net/config.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
@@ -57,7 +57,9 @@ class Nic {
   NodeId node_;
   const NetworkConfig& cfg_;
   sim::Channel<Packet> tx_queue_;
-  std::unordered_map<Port, sim::Channel<Packet>*> listeners_;
+  /// Port -> inbox. Looked up once per delivered packet; flat
+  /// open-addressing map, not a hashed bucket chase.
+  FlatMap64<sim::Channel<Packet>*> listeners_;
   NicStats stats_;
   // Fleet-wide aggregates in the simulation's registry (cached pointers;
   // the per-NIC breakdown stays in stats_).

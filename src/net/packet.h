@@ -2,7 +2,8 @@
 #define DMRPC_NET_PACKET_H_
 
 #include <cstdint>
-#include <vector>
+
+#include "sim/buffer_pool.h"
 
 namespace dmrpc::net {
 
@@ -18,7 +19,10 @@ inline constexpr NodeId kInvalidNode = 0xffffffff;
 ///
 /// The payload carries real bytes: the RPC layer serializes message
 /// headers and argument data into it, so pass-by-value costs are incurred
-/// byte-for-byte exactly as on a real wire.
+/// byte-for-byte exactly as on a real wire. The bytes live in a
+/// refcounted slab leased from the owning simulation's BufferPool, so
+/// moving a packet hop-by-hop (NIC -> switch -> NIC) never copies or
+/// reallocates, and dropping it anywhere returns the slab to the pool.
 struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
@@ -26,7 +30,7 @@ struct Packet {
   Port dst_port = 0;
   /// Monotonic per-fabric id for tracing and loss injection hooks.
   uint64_t id = 0;
-  std::vector<uint8_t> payload;
+  sim::PooledBuf payload;
 
   size_t payload_size() const { return payload.size(); }
 };

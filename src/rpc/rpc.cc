@@ -10,6 +10,12 @@ namespace dmrpc::rpc {
 namespace {
 /// pkt_idx sentinel on a kCreditReturn marking "request in progress".
 constexpr uint16_t kProgressAckIdx = 0xffff;
+
+/// Packs a (node, port, client session id) triple into the flat-map key.
+uint64_t SessionKey(net::NodeId node, net::Port port, uint16_t session_id) {
+  return (static_cast<uint64_t>(node) << 32) |
+         (static_cast<uint64_t>(port) << 16) | session_id;
+}
 }  // namespace
 
 Rpc::Rpc(net::Fabric* fabric, net::NodeId node, net::Port port, RpcConfig cfg)
@@ -59,10 +65,10 @@ void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
   pkt.src_port = port_;
   pkt.dst = dst;
   pkt.dst_port = dst_port;
-  pkt.payload.reserve(PacketHeader::kWireBytes + frag_len);
-  hdr.EncodeTo(&pkt.payload);
+  pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes + frag_len);
+  hdr.EncodeTo(pkt.payload.AppendRaw(PacketHeader::kWireBytes));
   if (frag_len > 0) {
-    pkt.payload.insert(pkt.payload.end(), frag, frag + frag_len);
+    std::memcpy(pkt.payload.AppendRaw(frag_len), frag, frag_len);
   }
   stats_.tx_packets++;
   m_tx_packets_->Inc();
@@ -104,11 +110,10 @@ sim::Task<StatusOr<SessionId>> Rpc::Connect(net::NodeId remote,
 }
 
 void Rpc::OnConnect(const net::Packet& pkt, const PacketHeader& hdr) {
-  auto key = std::make_tuple(pkt.src, pkt.src_port, hdr.session_id);
-  auto it = server_session_index_.find(key);
+  const uint64_t key = SessionKey(pkt.src, pkt.src_port, hdr.session_id);
   uint16_t index;
-  if (it != server_session_index_.end()) {
-    index = it->second;  // duplicate connect: resend the ack
+  if (const uint16_t* existing = server_session_index_.Find(key)) {
+    index = *existing;  // duplicate connect: resend the ack
   } else {
     DMRPC_CHECK_LT(server_sessions_.size(), 65535u);
     auto sess = std::make_unique<ServerSession>();
@@ -118,7 +123,7 @@ void Rpc::OnConnect(const net::Packet& pkt, const PacketHeader& hdr) {
     sess->slots.resize(cfg_.session_slots);
     index = static_cast<uint16_t>(server_sessions_.size());
     server_sessions_.push_back(std::move(sess));
-    server_session_index_.emplace(key, index);
+    server_session_index_.Insert(key, index);
   }
   PacketHeader ack;
   ack.msg_type = MsgType::kConnectAck;
@@ -173,8 +178,8 @@ void Rpc::OnDisconnect(const net::Packet& pkt, const PacketHeader& hdr) {
   if (index < server_sessions_.size() && server_sessions_[index] != nullptr) {
     ServerSession& sess = *server_sessions_[index];
     client_id = sess.client_session_id;
-    server_session_index_.erase(
-        std::make_tuple(sess.remote, sess.remote_port, client_id));
+    server_session_index_.Erase(
+        SessionKey(sess.remote, sess.remote_port, client_id));
     server_sessions_[index] = nullptr;
   } else {
     // Already removed (duplicate disconnect); we cannot recover the

@@ -4,9 +4,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
+
+#include "common/flat_map.h"
 
 #include "common/status.h"
 #include "common/units.h"
@@ -227,9 +228,10 @@ class Rpc {
   std::vector<std::unique_ptr<ClientSession>> client_sessions_;
   std::vector<std::unique_ptr<ServerSession>> server_sessions_;
   /// Dedup for connect handshakes: (src node, src port, client session id)
-  /// -> server session index.
-  std::map<std::tuple<net::NodeId, net::Port, uint16_t>, uint16_t>
-      server_session_index_;
+  /// packed into one uint64 key -> server session index. Flat
+  /// open-addressing map: one cache line per lookup instead of a tree
+  /// walk (see common/flat_map.h).
+  FlatMap64<uint16_t> server_session_index_;
 
   /// Number of client requests (or connects) awaiting completion; the
   /// retransmit scanner runs only while this is non-zero.

@@ -19,7 +19,25 @@ T Get(const uint8_t* data, size_t* pos) {
   return v;
 }
 
+template <typename T>
+void PutRaw(uint8_t* out, size_t* pos, T v) {
+  std::memcpy(out + *pos, &v, sizeof(T));
+  *pos += sizeof(T);
+}
+
 }  // namespace
+
+void PacketHeader::EncodeTo(uint8_t* out) const {
+  size_t pos = 0;
+  PutRaw<uint16_t>(out, &pos, magic);
+  PutRaw<uint8_t>(out, &pos, static_cast<uint8_t>(msg_type));
+  PutRaw<uint8_t>(out, &pos, req_type);
+  PutRaw<uint16_t>(out, &pos, session_id);
+  PutRaw<uint16_t>(out, &pos, pkt_idx);
+  PutRaw<uint16_t>(out, &pos, num_pkts);
+  PutRaw<uint64_t>(out, &pos, req_id);
+  PutRaw<uint32_t>(out, &pos, msg_size);
+}
 
 void PacketHeader::EncodeTo(std::vector<uint8_t>* out) const {
   Put<uint16_t>(out, magic);

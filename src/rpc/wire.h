@@ -37,6 +37,9 @@ struct PacketHeader {
   uint32_t msg_size = 0;     // total message payload bytes
 
   void EncodeTo(std::vector<uint8_t>* out) const;
+  /// Writes exactly kWireBytes into `out` (hot path: the RPC layer
+  /// encodes straight into a pooled packet buffer, no vector involved).
+  void EncodeTo(uint8_t* out) const;
   /// Returns false if `data` is too short or the magic mismatches.
   bool DecodeFrom(const uint8_t* data, size_t len);
 };

@@ -36,8 +36,10 @@ Simulation::~Simulation() {
   // in the parent's co_await expression), so destroying roots reclaims
   // every suspended frame exactly once. Queue handles are never destroyed
   // directly: they point into subtrees owned by the roots (or by Task
-  // objects still held in user code).
-  while (!queue_.empty()) queue_.pop();
+  // objects still held in user code). Both steps run while pool_ is still
+  // alive, so event callbacks and frames holding pooled payload buffers
+  // return them cleanly.
+  while (!queue_.empty()) queue_.PopMin();
   for (void* addr : detached_roots_) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }
@@ -63,25 +65,22 @@ void Simulation::Spawn(Task<> task) {
   ScheduleHandle(now_, h);
 }
 
-void Simulation::At(TimeNs t, std::function<void()> fn) {
-  DMRPC_CHECK_GE(t, now_) << "scheduling into the past";
-  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
-}
-
-void Simulation::After(TimeNs delay, std::function<void()> fn) {
-  DMRPC_CHECK_GE(delay, 0);
-  At(now_ + delay, std::move(fn));
-}
-
 void Simulation::ScheduleHandle(TimeNs t, std::coroutine_handle<> h) {
-  DMRPC_CHECK_GE(t, now_) << "scheduling into the past";
-  queue_.push(Event{t, next_seq_++, h, {}});
+  DMRPC_CHECK_GE(t, now_) << "scheduling into the past (t=" << t
+                          << ", now=" << now_ << ")";
+  // Same-instant wake-ups (channel pushes, completions, yields -- most of
+  // the events in an RPC workload) take the O(1) ready ring; only events
+  // with a future timestamp pay for a heap insert.
+  if (t == now_) {
+    queue_.PushReadyHandle(t, next_seq_++, h);
+  } else {
+    queue_.PushHandle(t, next_seq_++, h);
+  }
 }
 
-void Simulation::Dispatch(Event& ev) {
+void Simulation::Dispatch(EventQueue::Event ev) {
   now_ = ev.t;
   ++executed_;
-  CurrentGuard guard(this);
   if (ev.handle) {
     ev.handle.resume();
   } else {
@@ -91,22 +90,24 @@ void Simulation::Dispatch(Event& ev) {
 
 bool Simulation::Step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  Dispatch(ev);
+  CurrentGuard guard(this);
+  Dispatch(queue_.PopMin());
   return true;
 }
 
 void Simulation::Run() {
-  while (Step()) {
+  // The guard sits outside the loop: one thread-local save/restore per
+  // run, not per event (nested Run/RunUntil calls re-guard themselves).
+  CurrentGuard guard(this);
+  while (!queue_.empty()) {
+    Dispatch(queue_.PopMin());
   }
 }
 
 void Simulation::RunUntil(TimeNs deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(ev);
+  CurrentGuard guard(this);
+  while (!queue_.empty() && queue_.top_time() <= deadline) {
+    Dispatch(queue_.PopMin());
   }
   if (now_ < deadline) now_ = deadline;
 }

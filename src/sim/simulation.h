@@ -3,15 +3,17 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
 #include <unordered_set>
-#include <vector>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/buffer_pool.h"
+#include "sim/event_queue.h"
 #include "sim/task.h"
 
 namespace dmrpc::sim {
@@ -22,8 +24,14 @@ namespace dmrpc::sim {
 /// Events scheduled for the same instant execute in schedule order (FIFO),
 /// which together with seeded randomness makes every run bit-reproducible.
 ///
+/// Hot-path design (see docs/ARCHITECTURE.md, "Event loop & memory
+/// internals"): pending events live in a 4-ary min-heap of tagged entries
+/// holding either a coroutine handle or a small-buffer-inlined callback
+/// (SmallFn), so scheduling and dispatching an event performs no heap
+/// allocation; packet payloads come from the simulation-owned BufferPool.
+///
 /// Usage:
-///   Simulation simr(/*seed=*/42);
+///   Simulation sim(/*seed=*/42);
 ///   sim.Spawn(MyProcess(...));        // detached coroutine process
 ///   sim.RunFor(1 * kSecond);          // advance virtual time
 class Simulation {
@@ -46,13 +54,40 @@ class Simulation {
   /// frame is owned by the scheduler and destroyed when it completes.
   void Spawn(Task<> task);
 
-  /// Schedules `fn` at absolute virtual time `t` (>= Now()).
-  void At(TimeNs t, std::function<void()> fn);
+  /// Schedules `fn` (any void() callable) at absolute virtual time `t`.
+  /// Scheduling into the past (t < Now()) is rejected with a fatal check
+  /// in every build type: executing such an event would silently rewind
+  /// the clock and corrupt event order for the rest of the run.
+  template <typename F>
+  void At(TimeNs t, F&& fn) {
+    DMRPC_CHECK_GE(t, now_) << "scheduling into the past (t=" << t
+                            << ", now=" << now_ << ")";
+    if (t == now_) {
+      queue_.PushReadyFn(t, next_seq_++, std::forward<F>(fn));
+    } else {
+      queue_.PushFn(t, next_seq_++, std::forward<F>(fn));
+    }
+  }
 
-  /// Schedules `fn` after `delay` nanoseconds.
-  void After(TimeNs delay, std::function<void()> fn);
+  /// Schedules `fn` after `delay` nanoseconds. Negative delays clamp to
+  /// zero (run at the current instant, after already-queued work), the
+  /// same policy as Delay(); a delay so large that now + delay overflows
+  /// the clock is rejected with a fatal check.
+  template <typename F>
+  void After(TimeNs delay, F&& fn) {
+    if (delay <= 0) {
+      queue_.PushReadyFn(now_, next_seq_++, std::forward<F>(fn));
+      return;
+    }
+    // Overflow-safe form: now_ + delay would be signed-overflow UB, which
+    // the optimizer is entitled to assume never happens.
+    DMRPC_CHECK_LE(delay, std::numeric_limits<TimeNs>::max() - now_)
+        << "After() overflows the virtual clock (delay=" << delay << ")";
+    queue_.PushFn(now_ + delay, next_seq_++, std::forward<F>(fn));
+  }
 
   /// Schedules a coroutine resume at absolute time `t`. Used by awaitables.
+  /// Rejects t < Now() like At().
   void ScheduleHandle(TimeNs t, std::coroutine_handle<> h);
 
   /// Executes the single earliest event. Returns false when idle.
@@ -60,7 +95,7 @@ class Simulation {
 
   /// Time of the earliest pending event, or -1 when the queue is empty.
   TimeNs NextEventTime() const {
-    return queue_.empty() ? -1 : queue_.top().t;
+    return queue_.empty() ? -1 : queue_.top_time();
   }
 
   /// Runs until the event queue drains.
@@ -83,6 +118,15 @@ class Simulation {
   /// Simulation-wide deterministic random source.
   Rng& rng() { return rng_; }
 
+  /// Slab pool for packet payload buffers. The network and RPC layers
+  /// lease payload storage here so the per-packet path never touches the
+  /// general-purpose allocator at steady state. Pool stats are exposed via
+  /// BufferPool::stats() (deliberately kept out of the metrics registry:
+  /// the registry dump is a determinism artifact and wall-clock pooling
+  /// must never change it).
+  BufferPool& buffer_pool() { return pool_; }
+  const BufferPool& buffer_pool() const { return pool_; }
+
   /// The run's metrics registry. Every layer built on this simulation
   /// (fabric, RPC endpoints, DM substrate, cluster) registers its
   /// counters/gauges/timers here, so one dump captures the whole run and
@@ -104,22 +148,13 @@ class Simulation {
   friend void internal::NotifyDetachedDone(Simulation* sim,
                                            std::coroutine_handle<> h);
 
-  struct Event {
-    TimeNs t;
-    uint64_t seq;
-    std::coroutine_handle<> handle;  // resumed if set, else fn runs
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  void Dispatch(EventQueue::Event ev);
 
-  void Dispatch(Event& ev);
-
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Declared before queue_ and after nothing that can hold buffers:
+  /// members destroy in reverse order, so the (already drained) queue and
+  /// everything else that might hold PooledBufs dies before the pool.
+  BufferPool pool_;
+  EventQueue queue_;
   /// Frames of live detached root tasks; destroying a root transitively
   /// destroys its awaited children, so teardown destroys exactly these.
   std::unordered_set<void*> detached_roots_;

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/config.h"
+#include "net/fabric.h"
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+#include "sim/buffer_pool.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace dmrpc::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PooledBuf semantics (unpooled, heap-backed)
+// ---------------------------------------------------------------------------
+
+TEST(PooledBufTest, DefaultIsEmpty) {
+  PooledBuf buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.ref_count(), 0u);
+}
+
+TEST(PooledBufTest, AssignAndIndex) {
+  PooledBuf buf;
+  buf.assign(5, 0xab);
+  ASSERT_EQ(buf.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(buf[i], 0xab);
+  buf[2] = 0x11;
+  EXPECT_EQ(buf[2], 0x11);
+}
+
+TEST(PooledBufTest, ResizeZeroFillsGrowth) {
+  PooledBuf buf;
+  buf.assign(3, 0xff);
+  buf.resize(6);
+  ASSERT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf[0], 0xff);
+  EXPECT_EQ(buf[2], 0xff);
+  EXPECT_EQ(buf[3], 0x00);
+  EXPECT_EQ(buf[5], 0x00);
+  buf.resize(2);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.resize(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(PooledBufTest, InitializerListAndAppend) {
+  PooledBuf buf = {1, 2, 3};
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], 1);
+  const uint8_t more[] = {4, 5};
+  buf.AppendBytes(more, sizeof(more));
+  ASSERT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf[3], 4);
+  EXPECT_EQ(buf[4], 5);
+  // Append across a reallocation preserves old bytes.
+  std::vector<uint8_t> big(1000, 0x7e);
+  buf.AppendBytes(big.data(), big.size());
+  ASSERT_EQ(buf.size(), 1005u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1004], 0x7e);
+}
+
+TEST(PooledBufTest, CopySharesSlabAndWritesUnshare) {
+  PooledBuf a;
+  a.assign(4, 0x42);
+  PooledBuf b = a;
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_EQ(b.data(), a.data());
+  // Resizing a shared buffer copies-on-write; the sibling is untouched.
+  b.resize(8);
+  EXPECT_NE(b.data(), a.data());
+  EXPECT_EQ(a.ref_count(), 1u);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(b[0], 0x42);
+  EXPECT_EQ(b[7], 0x00);
+}
+
+TEST(PooledBufTest, MoveTransfersOwnership) {
+  PooledBuf a = {9, 8, 7};
+  const uint8_t* p = a.data();
+  PooledBuf b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.ref_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool freelist lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, ReusesReturnedSlabs) {
+  BufferPool pool;
+  const uint8_t* first;
+  {
+    PooledBuf buf = pool.Acquire(100);
+    first = buf.data();
+    EXPECT_EQ(pool.stats().slab_allocs, 1u);
+    EXPECT_EQ(pool.stats().outstanding, 1u);
+    EXPECT_GE(buf.capacity(), 100u);
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  {
+    // Same size class: the freelist slab comes back, no new allocation.
+    PooledBuf buf = pool.Acquire(120);
+    EXPECT_EQ(buf.data(), first);
+    EXPECT_EQ(pool.stats().slab_allocs, 1u);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(buf.size(), 0u);  // length reset on reuse
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPoolTest, RefcountedSharingDelaysReturn) {
+  BufferPool pool;
+  PooledBuf a = pool.Acquire(64);
+  a.AppendBytes("xyz", 3);
+  PooledBuf b = a;  // share
+  EXPECT_EQ(a.ref_count(), 2u);
+  a.Release();
+  EXPECT_EQ(pool.stats().outstanding, 1u);  // b still holds the slab
+  EXPECT_EQ(b.size(), 3u);
+  b.Release();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+}
+
+TEST(BufferPoolTest, OversizedRequestsBypassThePool) {
+  BufferPool pool;
+  {
+    PooledBuf big = pool.Acquire(BufferPool::kMaxSlabBytes + 1);
+    EXPECT_GE(big.capacity(), BufferPool::kMaxSlabBytes + 1);
+    EXPECT_EQ(pool.stats().oversized, 1u);
+    EXPECT_EQ(pool.stats().outstanding, 0u);  // not a pool lease
+  }
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPoolTest, DistinctSizeClassesGetDistinctSlabs) {
+  BufferPool pool;
+  PooledBuf small = pool.Acquire(64);
+  PooledBuf large = pool.Acquire(4096);
+  EXPECT_NE(small.data(), large.data());
+  EXPECT_GE(large.capacity(), 4096u);
+  EXPECT_EQ(pool.stats().slab_allocs, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Packet-path lifecycle: every drop path returns buffers to the pool
+// ---------------------------------------------------------------------------
+
+sim::Task<> CallN(rpc::Rpc* client, net::NodeId server, int calls,
+                  Status* out) {
+  auto sid = co_await client->Connect(server, 100);
+  if (!sid.ok()) {
+    *out = sid.status();
+    co_return;
+  }
+  for (int i = 0; i < calls; ++i) {
+    rpc::MsgBuffer req;
+    req.AppendString("ping");
+    auto resp = co_await client->Call(*sid, 1, std::move(req));
+    *out = resp.status();
+    if (!out->ok()) co_return;
+  }
+}
+
+sim::Task<rpc::MsgBuffer> Echo(rpc::ReqContext, rpc::MsgBuffer req) {
+  co_return req;
+}
+
+TEST(PacketPoolLifecycleTest, SwitchDropsReturnBuffersToFreelist) {
+  Simulation sim(7);
+  net::NetworkConfig cfg;
+  rpc::RpcConfig rcfg;
+  rcfg.rto_ns = 100 * kMicrosecond;
+  rcfg.max_retries = 2;
+  Status status = Status::OK();
+  {
+    net::Fabric fabric(&sim, cfg, 2);
+    // Drop every packet at switch ingress: connects retransmit and
+    // eventually time out; each dropped packet's pooled payload must come
+    // back to the freelist at the drop site.
+    fabric.set_drop_filter([](const net::Packet&) { return true; });
+    rpc::Rpc server(&fabric, 1, 100, rcfg);
+    server.RegisterHandler(1, Echo);
+    rpc::Rpc client(&fabric, 0, 9, rcfg);
+    sim.Spawn(CallN(&client, 1, 1, &status));
+    sim.Run();
+    EXPECT_GT(fabric.switch_stats().dropped_loss, 0u);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_GT(sim.buffer_pool().stats().acquires, 0u);
+  EXPECT_EQ(sim.buffer_pool().stats().outstanding, 0u);
+}
+
+TEST(PacketPoolLifecycleTest, UnknownDestinationDropReturnsBuffer) {
+  Simulation sim(7);
+  net::NetworkConfig cfg;
+  {
+    net::Fabric fabric(&sim, cfg, 2);
+    sim.At(0, [&] {
+      // Nic::Send CHECKs the destination, so inject at the switch directly
+      // (as a NIC TX pump would) to reach the unknown-dst drop path.
+      net::Packet pkt;
+      pkt.src = 0;
+      pkt.dst = 99;  // beyond num_nodes: dropped at the switch
+      pkt.src_port = 1;
+      pkt.dst_port = 2;
+      pkt.id = fabric.NextPacketId();
+      pkt.payload = sim.buffer_pool().Acquire(256);
+      pkt.payload.AppendRaw(200);
+      fabric.SendToSwitch(std::move(pkt));
+    });
+    sim.Run();
+    EXPECT_EQ(fabric.switch_stats().dropped_unknown_dst, 1u);
+  }
+  EXPECT_EQ(sim.buffer_pool().stats().outstanding, 0u);
+}
+
+TEST(PacketPoolLifecycleTest, LossAndRetransmitsLeakNothing) {
+  // Lossy fabric with retransmissions: fragments are dropped, resent, and
+  // delivered as duplicates -- the reassembly and dedup paths must release
+  // every pooled buffer exactly once (ASan would flag a double free).
+  Simulation sim(1234);
+  net::NetworkConfig cfg;
+  cfg.loss_probability = 0.2;
+  rpc::RpcConfig rcfg;
+  rcfg.rto_ns = 50 * kMicrosecond;
+  rcfg.max_retries = 30;
+  Status status = Status::Internal("never ran");
+  {
+    net::Fabric fabric(&sim, cfg, 2);
+    rpc::Rpc server(&fabric, 1, 100, rcfg);
+    server.RegisterHandler(1, Echo);
+    rpc::Rpc client(&fabric, 0, 9, rcfg);
+    sim.Spawn(CallN(&client, 1, 30, &status));
+    sim.Run();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    EXPECT_GT(fabric.switch_stats().dropped_loss, 0u);
+  }
+  EXPECT_EQ(sim.buffer_pool().stats().outstanding, 0u);
+  // Steady state recycles: far fewer slab allocations than packets.
+  EXPECT_GT(sim.buffer_pool().stats().reuses, 0u);
+}
+
+TEST(PacketPoolLifecycleTest, PendingPacketsReleasedOnTeardown) {
+  // Packets still queued inside NICs / the switch when the run stops are
+  // released by fabric teardown (channel destruction) and by ~Simulation
+  // (pending events, suspended coroutine frames) -- never leaked past the
+  // pool's lifetime check.
+  Status status = Status::OK();
+  Simulation sim(5);
+  net::NetworkConfig cfg;
+  {
+    net::Fabric fabric(&sim, cfg, 2);
+    rpc::Rpc server(&fabric, 1, 100);
+    server.RegisterHandler(1, Echo);
+    rpc::Rpc client(&fabric, 0, 9);
+    sim.Spawn(CallN(&client, 1, 1, &status));
+    sim.RunFor(2 * kMicrosecond);  // stop mid-flight
+  }
+  // ~Fabric and ~Rpc released their queued packets while sim was alive;
+  // ~Simulation will drain the rest and ~BufferPool checks outstanding==0.
+}
+
+}  // namespace
+}  // namespace dmrpc::sim

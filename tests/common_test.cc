@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -341,6 +342,94 @@ TEST_P(HistogramScaleTest, RelativeErrorBounded) {
 INSTANTIATE_TEST_SUITE_P(Scales, HistogramScaleTest,
                          ::testing::Values(100, 10000, 1000000,
                                            100000000, int64_t{1} << 40));
+
+
+// ---------------------------------------------------------------------------
+// FlatMap64
+// ---------------------------------------------------------------------------
+
+TEST(FlatMap64Test, InsertFindErase) {
+  FlatMap64<uint16_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(1), nullptr);
+  m.Insert(1, 10);
+  m.Insert(2, 20);
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 10);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64Test, InsertOverwrites) {
+  FlatMap64<int> m;
+  m.Insert(42, 1);
+  m.Insert(42, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.Find(42), 2);
+}
+
+TEST(FlatMap64Test, ExtremeKeysAreValid) {
+  // All uint64 key values are legal (no reserved sentinel keys).
+  FlatMap64<int> m;
+  m.Insert(0, 100);
+  m.Insert(UINT64_MAX, 200);
+  EXPECT_EQ(*m.Find(0), 100);
+  EXPECT_EQ(*m.Find(UINT64_MAX), 200);
+}
+
+TEST(FlatMap64Test, GrowsAndMatchesStdMap) {
+  // Randomized differential test against std::map through growth,
+  // rehashes, and tombstone churn.
+  Rng rng(123);
+  FlatMap64<uint32_t> m;
+  std::map<uint64_t, uint32_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Uniform(4000);  // small key space forces collisions
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 30));
+      m.Insert(key, v);
+      ref[key] = v;
+    } else if (op == 1) {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+    } else {
+      auto it = ref.find(key);
+      uint32_t* found = m.Find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), v);
+  }
+}
+
+TEST(FlatMap64Test, TombstoneHeavyWorkloadStaysCorrect) {
+  // Insert/erase cycles over a fixed key set: tombstones accumulate and
+  // must be purged by same-size rehashes without losing live entries.
+  FlatMap64<int> m;
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t k = 0; k < 12; ++k) m.Insert(k, round);
+    for (uint64_t k = 0; k < 12; k += 2) EXPECT_TRUE(m.Erase(k));
+    for (uint64_t k = 1; k < 12; k += 2) {
+      ASSERT_NE(m.Find(k), nullptr);
+      EXPECT_EQ(*m.Find(k), round);
+    }
+    for (uint64_t k = 1; k < 12; k += 2) EXPECT_TRUE(m.Erase(k));
+    EXPECT_TRUE(m.empty());
+  }
+}
 
 }  // namespace
 }  // namespace dmrpc

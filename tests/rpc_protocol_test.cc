@@ -186,7 +186,8 @@ TEST_F(ProtocolTest, StaleSessionTrafficIgnored) {
     pkt.src_port = 9;
     pkt.dst = 1;
     pkt.dst_port = 100;
-    hdr.EncodeTo(&pkt.payload);
+    pkt.payload.resize(PacketHeader::kWireBytes);
+    hdr.EncodeTo(pkt.payload.data());
     fabric_.nic(0)->Send(std::move(pkt));
   });
   sim_.RunFor(1 * kMillisecond);

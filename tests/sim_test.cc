@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "sim/channel.h"
@@ -129,6 +132,82 @@ TEST(TaskTest, DestroyingSimWithSuspendedTasksIsClean) {
     sim.RunFor(10);  // task now suspended in the far future
   }
   EXPECT_EQ(never, -1);  // it never ran, and ASan sees no leak
+}
+
+TEST(SimulationDeathTest, SchedulingIntoThePastIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Simulation sim;
+  sim.At(100, [] {});
+  sim.Run();
+  ASSERT_EQ(sim.Now(), 100);
+  // An event before Now() would silently rewind the clock; it must be
+  // rejected loudly in every build type, not just debug.
+  EXPECT_DEATH(sim.At(50, [] {}), "scheduling into the past");
+}
+
+TEST(SimulationDeathTest, AfterOverflowingTheClockIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Simulation sim;
+  sim.At(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.After(std::numeric_limits<TimeNs>::max(), [] {}),
+               "overflows the virtual clock");
+}
+
+TEST(SimulationTest, AfterClampsNegativeDelayToNow) {
+  // Negative delays clamp to zero (same policy as Delay()): the callback
+  // runs at the current instant, after already-queued same-time work.
+  Simulation sim;
+  std::vector<int> order;
+  TimeNs ran_at = -1;
+  sim.At(100, [&] {
+    sim.After(-50, [&] {
+      ran_at = sim.Now();
+      order.push_back(2);
+    });
+    sim.At(100, [&] { order.push_back(1); });
+  });
+  sim.Run();
+  EXPECT_EQ(ran_at, 100);
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimulationTest, LargeCallbackCapturesFallBackToHeap) {
+  // SmallFn inlines captures up to its SBO size; larger ones go through
+  // the heap path. Both must run correctly and destroy their captures.
+  Simulation sim;
+  std::array<uint64_t, 32> big{};  // 256 bytes, well past the inline buffer
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i * 3;
+  uint64_t sum = 0;
+  auto shared = std::make_shared<int>(7);  // destructor tracked by use_count
+  std::weak_ptr<int> weak = shared;
+  sim.At(10, [big, captured = std::move(shared), &sum] {
+    for (uint64_t v : big) sum += v;
+    sum += static_cast<uint64_t>(*captured);
+  });
+  sim.Run();
+  EXPECT_EQ(sum, 3 * (31 * 32 / 2) + 7u);
+  EXPECT_TRUE(weak.expired());  // capture destroyed after dispatch
+}
+
+TEST(SimulationTest, ManyInterleavedEventsStayTotallyOrdered) {
+  // Stress the 4-ary heap: pushes interleaved with pops, duplicate
+  // timestamps, and in-callback rescheduling must preserve the strict
+  // (time, sequence) order.
+  Simulation sim(7);
+  std::vector<TimeNs> times;
+  for (int i = 0; i < 2000; ++i) {
+    TimeNs t = static_cast<TimeNs>(sim.rng().Uniform(500));
+    sim.At(t, [&times, &sim] {
+      times.push_back(sim.Now());
+      if (times.size() % 3 == 0) sim.After(17, [] {});
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(times.size(), 2000u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
 }
 
 TEST(SimulationTest, DeterministicEventCount) {
