@@ -1,0 +1,136 @@
+// Seeded chaos sweep runner (the full-size companion of tests/chaos_test).
+//
+// Runs RunChaosIteration over a contiguous seed range and exits non-zero
+// if any seed violates an invariant. Failing seeds are appended to an
+// artifact file (one seed + summary per line) so CI can upload them and a
+// developer can replay a single seed deterministically:
+//
+//   ./chaos_runner --seeds=500                 # seeds 1..500
+//   ./chaos_runner --first-seed=17 --seeds=1   # replay seed 17 verbosely
+//   ./chaos_runner --verify-determinism        # rerun each seed twice
+//
+// Options:
+//   --seeds=N              number of seeds to run (default 200)
+//   --first-seed=S         first seed of the range (default 1)
+//   --ops-per-actor=N      workload length per actor (default 25)
+//   --actors=N             actor services (default 3)
+//   --no-crashes           links-only schedules
+//   --verify-determinism   run every seed twice, compare fingerprints
+//   --artifact=PATH        failing-seed file (default chaos_failures.txt)
+//   --verbose              print every seed's summary, not just failures
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "msvc/chaos.h"
+
+namespace {
+
+struct Args {
+  int seeds = 200;
+  uint64_t first_seed = 1;
+  int ops_per_actor = 25;
+  int actors = 3;
+  bool crashes = true;
+  bool verify_determinism = false;
+  std::string artifact = "chaos_failures.txt";
+  bool verbose = false;
+};
+
+bool ParseInt(const char* arg, const char* flag, int* out) {
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoi(arg + len + 1);
+  return true;
+}
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int v = 0;
+    if (ParseInt(arg, "--seeds", &a.seeds)) {
+    } else if (ParseInt(arg, "--first-seed", &v)) {
+      a.first_seed = static_cast<uint64_t>(v);
+    } else if (ParseInt(arg, "--ops-per-actor", &a.ops_per_actor)) {
+    } else if (ParseInt(arg, "--actors", &a.actors)) {
+    } else if (std::strcmp(arg, "--no-crashes") == 0) {
+      a.crashes = false;
+    } else if (std::strcmp(arg, "--verify-determinism") == 0) {
+      a.verify_determinism = true;
+    } else if (std::strncmp(arg, "--artifact=", 11) == 0) {
+      a.artifact = arg + 11;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      a.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dmrpc::msvc::ChaosOptions;
+  using dmrpc::msvc::ChaosReport;
+  using dmrpc::msvc::RunChaosIteration;
+
+  Args args = Parse(argc, argv);
+  std::ofstream artifact;  // opened lazily on the first failure
+
+  int failures = 0;
+  uint64_t total_ops = 0, total_crashes = 0, total_dropped = 0;
+  for (int i = 0; i < args.seeds; ++i) {
+    uint64_t seed = args.first_seed + static_cast<uint64_t>(i);
+    ChaosOptions opts;
+    opts.seed = seed;
+    opts.num_actors = args.actors;
+    opts.ops_per_actor = args.ops_per_actor;
+    opts.inject_crashes = args.crashes;
+    ChaosReport rep = RunChaosIteration(opts);
+
+    bool failed = !rep.ok;
+    if (args.verify_determinism && rep.ok) {
+      ChaosReport rerun = RunChaosIteration(opts);
+      if (rerun.executed_events != rep.executed_events ||
+          rerun.metrics_json != rep.metrics_json) {
+        failed = true;
+        rep.violations.push_back("rerun of the same seed diverged");
+      }
+    }
+
+    total_ops += rep.ops_attempted;
+    total_crashes += rep.faults.crashes;
+    total_dropped += rep.faults.dropped;
+    if (failed) {
+      failures++;
+      std::string line = rep.Summary(seed);
+      std::fprintf(stderr, "FAIL %s\n", line.c_str());
+      if (!artifact.is_open()) artifact.open(args.artifact);
+      artifact << line << "\n";
+    } else if (args.verbose) {
+      std::printf("%s\n", rep.Summary(seed).c_str());
+    }
+  }
+
+  std::printf(
+      "chaos sweep: %d seeds (%llu..%llu), %d failed; "
+      "%llu ops, %llu crashes, %llu packets dropped by faults\n",
+      args.seeds, static_cast<unsigned long long>(args.first_seed),
+      static_cast<unsigned long long>(args.first_seed + args.seeds - 1),
+      failures, static_cast<unsigned long long>(total_ops),
+      static_cast<unsigned long long>(total_crashes),
+      static_cast<unsigned long long>(total_dropped));
+  if (failures > 0) {
+    std::fprintf(stderr, "failing seeds written to %s\n",
+                 args.artifact.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,8 @@ void PagePool::AttachMetrics(obs::MetricsRegistry* registry,
   m_ref_decs_ = registry->GetCounter(prefix + ".ref_decs");
   m_free_frames_ = registry->GetGauge(prefix + ".free_frames");
   m_free_frames_->Set(static_cast<int64_t>(fifo_.size()));
+  m_lease_reclaims_ = registry->GetCounter(prefix + ".lease_reclaims");
+  m_lease_frames_freed_ = registry->GetCounter(prefix + ".lease_frames_freed");
 }
 
 StatusOr<FrameId> PagePool::PopFree() {
@@ -83,6 +85,43 @@ uint32_t PagePool::DecRef(FrameId frame) {
   DMRPC_CHECK_GT(refcounts_[frame], 0u) << "refcount underflow";
   if (m_ref_decs_ != nullptr) m_ref_decs_->Inc();
   return --refcounts_[frame];
+}
+
+void PagePool::LeaseAttach(LeaseId lease, uint64_t cookie,
+                           std::vector<FrameId> frames) {
+  auto& shares = leases_[lease];
+  auto [it, inserted] = shares.emplace(cookie, std::move(frames));
+  DMRPC_CHECK(inserted) << "lease cookie " << cookie << " attached twice";
+  (void)it;
+}
+
+void PagePool::LeaseDetach(LeaseId lease, uint64_t cookie) {
+  auto lit = leases_.find(lease);
+  if (lit == leases_.end()) return;
+  lit->second.erase(cookie);
+  if (lit->second.empty()) leases_.erase(lit);
+}
+
+LeaseReclaim PagePool::ReclaimLease(LeaseId lease) {
+  LeaseReclaim out;
+  auto lit = leases_.find(lease);
+  if (lit == leases_.end()) return out;
+  for (auto& [cookie, frames] : lit->second) {
+    out.cookies.push_back(cookie);
+    out.shares_released++;
+    for (FrameId f : frames) {
+      if (DecRef(f) == 0) {
+        PushFree(f);
+        out.frames_freed++;
+      }
+    }
+  }
+  leases_.erase(lit);
+  if (m_lease_reclaims_ != nullptr) {
+    m_lease_reclaims_->Inc();
+    m_lease_frames_freed_->Inc(out.frames_freed);
+  }
+  return out;
 }
 
 }  // namespace dmrpc::dm

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,22 @@ namespace dmrpc::dm {
 /// Frame number within a PagePool.
 using FrameId = uint32_t;
 inline constexpr FrameId kInvalidFrame = 0xffffffff;
+
+/// Identifies the owner of leased frames: a (node, epoch) pair, so a
+/// node's post-restart allocations are distinguishable from the ones its
+/// previous incarnation left behind.
+using LeaseId = uint64_t;
+constexpr LeaseId MakeLeaseId(uint32_t owner_node, uint32_t epoch) {
+  return (static_cast<LeaseId>(owner_node) << 32) | epoch;
+}
+
+/// What ReclaimLease released (see PagePool::ReclaimLease).
+struct LeaseReclaim {
+  /// Cookies of every share the lease held, in attach order.
+  std::vector<uint64_t> cookies;
+  uint64_t shares_released = 0;
+  uint64_t frames_freed = 0;
+};
 
 /// A pool of real page frames with per-frame reference counts and a FIFO
 /// free list -- the paper's pinned-memory layout on DM servers (§V-A) and
@@ -66,12 +83,43 @@ class PagePool {
     return static_cast<uint64_t>(num_frames_) * page_size_;
   }
 
+  // -- Leases (crash recovery) -----------------------------------------
+  //
+  // A lease records which reference-counted shares a remote node holds,
+  // so that when the node crashes without releasing them the pool can
+  // drop exactly those references and return now-unreferenced frames to
+  // the free list (the paper's DM server must survive client failure
+  // without leaking pinned memory). Each share is identified by an
+  // owner-chosen cookie (DmServer uses its ref key) and pins one DecRef
+  // per listed frame.
+
+  /// Records that share `cookie` under `lease` holds one reference on
+  /// each frame in `frames`. The cookie must not already be attached.
+  void LeaseAttach(LeaseId lease, uint64_t cookie,
+                   std::vector<FrameId> frames);
+
+  /// Forgets a share without touching refcounts -- the normal release
+  /// path does its own DecRef/PushFree. No-op if the cookie is unknown
+  /// (it may have been reclaimed already).
+  void LeaseDetach(LeaseId lease, uint64_t cookie);
+
+  /// Drops every reference the lease holds: per share, per frame, one
+  /// DecRef; frames reaching zero go back on the free list. Returns the
+  /// reclaimed cookies so the owner can erase its own bookkeeping.
+  LeaseReclaim ReclaimLease(LeaseId lease);
+
+  /// Number of leases currently holding at least one share.
+  size_t lease_count() const { return leases_.size(); }
+
  private:
   uint32_t num_frames_;
   uint32_t page_size_;
   std::vector<uint8_t> storage_;
   std::vector<uint32_t> refcounts_;
   std::deque<FrameId> fifo_;
+  /// lease -> (cookie -> pinned frames). Ordered maps: reclamation order
+  /// must be deterministic (it feeds the free-list FIFO).
+  std::map<LeaseId, std::map<uint64_t, std::vector<FrameId>>> leases_;
 
   // Optional observability hooks (null until AttachMetrics).
   obs::Counter* m_popped_ = nullptr;
@@ -79,6 +127,8 @@ class PagePool {
   obs::Counter* m_ref_incs_ = nullptr;
   obs::Counter* m_ref_decs_ = nullptr;
   obs::Gauge* m_free_frames_ = nullptr;
+  obs::Counter* m_lease_reclaims_ = nullptr;
+  obs::Counter* m_lease_frames_freed_ = nullptr;
 };
 
 }  // namespace dmrpc::dm

@@ -105,6 +105,54 @@ DmServer::ProcState* DmServer::FindProc(uint32_t pid) {
   return it == procs_.end() ? nullptr : &it->second;
 }
 
+dm::LeaseId DmServer::CurrentLease(net::NodeId node) {
+  return dm::MakeLeaseId(node, peer_epochs_[node]);
+}
+
+void DmServer::ReclaimPeer(net::NodeId peer) {
+  // 1. Ref shares held under the peer's current lease.
+  dm::LeaseReclaim rec = pool_.ReclaimLease(CurrentLease(peer));
+  for (uint64_t cookie : rec.cookies) refs_.erase(cookie);
+  uint64_t frames_freed = rec.frames_freed;
+
+  // 2. Every process the peer registered: PTE shares and the VA tree.
+  // Iteration over the hash maps would be nondeterministic, so collect
+  // and sort the keys first.
+  std::vector<uint32_t> pids;
+  for (const auto& [pid, st] : procs_) {
+    if (st.owner == peer) pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  for (uint32_t pid : pids) {
+    std::vector<uint64_t> keys;
+    for (const auto& [k, f] : pte_) {
+      if (static_cast<uint32_t>(k >> 32) == pid) keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t k : keys) {
+      dm::FrameId frame = pte_[k];
+      pte_.erase(k);
+      if (pool_.DecRef(frame) == 0) {
+        pool_.PushFree(frame);
+        frames_freed++;
+      }
+    }
+    procs_.erase(pid);
+  }
+
+  // 3. New incarnation: stragglers from the dead one resolve cleanly.
+  peer_epochs_[peer]++;
+  stats_.peer_reclaims++;
+  stats_.frames_reclaimed += frames_freed;
+  if (sim_->tracer().enabled()) {
+    sim_->tracer().Instant(
+        "dm", "dm.peer_reclaim", sim_->Now(), node_,
+        "{\"peer\":" + std::to_string(peer) +
+            ",\"shares\":" + std::to_string(rec.shares_released) +
+            ",\"frames\":" + std::to_string(frames_freed) + "}");
+  }
+}
+
 sim::Task<MsgBuffer> DmServer::HandleRegister(ReqContext ctx, MsgBuffer req) {
   co_await cores_.Acquire();
   sim::SemaphoreGuard guard(&cores_);
@@ -113,6 +161,7 @@ sim::Task<MsgBuffer> DmServer::HandleRegister(ReqContext ctx, MsgBuffer req) {
   ProcState state;
   state.va = std::make_unique<dm::VaAllocator>(
       va_partition_base_, cfg_.va_span_per_proc, cfg_.page_size);
+  state.owner = ctx.peer;
   procs_.emplace(pid, std::move(state));
   MsgBuffer resp;
   PutStatus(&resp, Status::OK());
@@ -173,8 +222,10 @@ sim::Task<MsgBuffer> DmServer::HandleFree(ReqContext ctx, MsgBuffer req) {
     if (pool_.DecRef(frame) == 0) pool_.PushFree(frame);
   }
   stats_.translation_ns += static_cast<TimeNs>(pages) * TranslateCost();
-  co_await sim::Delay(cpu);
+  // Free the VA range before suspending: `proc` may be erased by
+  // ReclaimPeer while this coroutine sleeps (the peer crashed mid-free).
   (void)proc->va->Free(va);
+  co_await sim::Delay(cpu);
   stats_.frees++;
   PutStatus(&resp, Status::OK());
   co_return resp;
@@ -203,6 +254,14 @@ sim::Task<MsgBuffer> DmServer::HandleCreateRef(ReqContext ctx,
   RefEntry entry;
   entry.size = size;
   entry.frames.reserve(pages);
+  // Undoes the shares already taken when a later page fails (pool
+  // exhausted mid-loop): without this the partial entry's references
+  // leak -- they are not yet lease-tracked.
+  auto rollback = [&] {
+    for (FrameId fr : entry.frames) {
+      if (pool_.DecRef(fr) == 0) pool_.PushFree(fr);
+    }
+  };
   TimeNs cpu = 0;
   for (uint64_t i = 0; i < pages; ++i) {
     RemoteAddr page_va = va + i * cfg_.page_size;
@@ -213,6 +272,7 @@ sim::Task<MsgBuffer> DmServer::HandleCreateRef(ReqContext ctx,
       // names real storage.
       auto f = FaultIn(pid, page_va);
       if (!f.ok()) {
+        rollback();
         PutStatus(&resp, f.status());
         co_return resp;
       }
@@ -223,6 +283,7 @@ sim::Task<MsgBuffer> DmServer::HandleCreateRef(ReqContext ctx,
       // "-copy" baseline: unconditionally duplicate the page now.
       auto copy = pool_.PopFree();
       if (!copy.ok()) {
+        rollback();
         PutStatus(&resp, copy.status());
         co_return resp;
       }
@@ -244,6 +305,11 @@ sim::Task<MsgBuffer> DmServer::HandleCreateRef(ReqContext ctx,
   }
   co_await sim::Delay(cpu);
   uint64_t key = next_ref_key_++;
+  // Lease sampled AFTER the suspension: if the owner crashed while we
+  // slept, the entry lands in its new epoch and is swept by the next
+  // reclamation instead of dangling in the dead one.
+  entry.lease = CurrentLease(ctx.peer);
+  pool_.LeaseAttach(entry.lease, key, entry.frames);
   refs_.emplace(key, std::move(entry));
   stats_.create_refs++;
   PutStatus(&resp, Status::OK());
@@ -304,10 +370,13 @@ sim::Task<MsgBuffer> DmServer::HandleReleaseRef(ReqContext ctx,
     PutStatus(&resp, Status::NotFound("unknown ref key"));
     co_return resp;
   }
+  pool_.LeaseDetach(it->second.lease, key);
   TimeNs cpu = 0;
-  for (FrameId frame : it->second.frames) {
-    cpu += cfg_.refcount_op_ns;
-    if (pool_.DecRef(frame) == 0) pool_.PushFree(frame);
+  if (!debug_leak_on_release_) {
+    for (FrameId frame : it->second.frames) {
+      cpu += cfg_.refcount_op_ns;
+      if (pool_.DecRef(frame) == 0) pool_.PushFree(frame);
+    }
   }
   refs_.erase(it);
   co_await sim::Delay(cpu);
@@ -484,6 +553,8 @@ sim::Task<MsgBuffer> DmServer::HandlePutRef(ReqContext ctx, MsgBuffer req) {
   cpu += cfg_.memory.AccessNs(mem::MemKind::kLocalDram, len);
   co_await sim::Delay(cpu);
   uint64_t key = next_ref_key_++;
+  entry.lease = CurrentLease(ctx.peer);
+  pool_.LeaseAttach(entry.lease, key, entry.frames);
   refs_.emplace(key, std::move(entry));
   stats_.put_refs++;
   PutStatus(&resp, Status::OK());

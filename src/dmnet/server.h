@@ -2,6 +2,7 @@
 #define DMRPC_DMNET_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,10 @@ struct DmServerStats {
   uint64_t page_faults = 0;
   uint64_t cow_copies = 0;
   uint64_t eager_copied_pages = 0;
+  /// Crash-recovery sweeps (ReclaimPeer calls) and the frames they
+  /// returned to the free list.
+  uint64_t peer_reclaims = 0;
+  uint64_t frames_reclaimed = 0;
   /// Virtual ns spent in software address translation (for the 0.17%
   /// claim in §V-A2).
   TimeNs translation_ns = 0;
@@ -104,13 +109,32 @@ class DmServer {
     meter_.Reset();
   }
 
+  /// Crash recovery: drops every resource owned by `peer`'s current
+  /// incarnation -- lease-tracked Ref shares, then each of its registered
+  /// processes (PTE shares and VA trees) -- returning now-unreferenced
+  /// frames to the free list, and bumps the peer's epoch so requests
+  /// still in flight from the dead incarnation resolve cleanly (unknown
+  /// pid / unknown ref key) instead of touching reclaimed state. Called
+  /// by the fault layer's crash listener and by chaos-harness retirement
+  /// (a clean process exit is the same sweep).
+  void ReclaimPeer(net::NodeId peer);
+
+  /// Test hook: when set, ReleaseRef forgets the Ref entry WITHOUT
+  /// dropping its page references -- a deliberate leak the chaos
+  /// harness's conservation invariant must catch (negative test).
+  void set_debug_leak_on_release(bool v) { debug_leak_on_release_ = v; }
+
  private:
   struct ProcState {
     std::unique_ptr<dm::VaAllocator> va;
+    /// Node that registered this process (crash-reclamation scope).
+    net::NodeId owner = net::kInvalidNode;
   };
   struct RefEntry {
     std::vector<dm::FrameId> frames;
     uint64_t size = 0;
+    /// Lease holding this entry's page shares (owner node + epoch).
+    dm::LeaseId lease = 0;
   };
 
   // Handlers (one per DmReqType).
@@ -153,6 +177,9 @@ class DmServer {
 
   ProcState* FindProc(uint32_t pid);
 
+  /// Lease id of `node`'s current incarnation.
+  dm::LeaseId CurrentLease(net::NodeId node);
+
   sim::Simulation* sim_;
   net::NodeId node_;
   net::Port port_;
@@ -170,6 +197,9 @@ class DmServer {
   std::unordered_map<uint64_t, dm::FrameId> pte_;
   /// The Page Manager's create_ref key map.
   std::unordered_map<uint64_t, RefEntry> refs_;
+  /// Incarnation number per client node; bumped by ReclaimPeer.
+  std::map<net::NodeId, uint32_t> peer_epochs_;
+  bool debug_leak_on_release_ = false;
 
   mem::BandwidthMeter meter_;
   DmServerStats stats_;

@@ -1,0 +1,68 @@
+#ifndef DMRPC_MSVC_CHAOS_H_
+#define DMRPC_MSVC_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fault/fault.h"
+
+namespace dmrpc::msvc {
+
+/// One seeded chaos iteration: a DmRPC-net cluster of actor services
+/// exchanging DM payloads and echo RPCs while a FaultInjector replays a
+/// schedule drawn from the seed (packet drop/corrupt/duplicate/reorder
+/// bursts, link flaps, whole-node crash+restart of actor hosts).
+struct ChaosOptions {
+  uint64_t seed = 1;
+  int num_actors = 3;
+  /// DM payload + echo round trips each actor performs.
+  int ops_per_actor = 25;
+  uint64_t max_payload_bytes = 24 * 1024;
+  /// Randomized fault windows land inside [0, fault_horizon) after init.
+  TimeNs fault_horizon = 250 * kMillisecond;
+  int max_packet_faults = 6;
+  int max_link_downs = 2;
+  int max_crashes = 2;
+  /// When false, the schedule carries no node crashes (links only).
+  bool inject_crashes = true;
+  /// Negative-test hook: DM server 0 leaks one Ref's page references on
+  /// every release; the conservation invariant MUST flag the run.
+  bool debug_leak_on_release = false;
+  /// Virtual-time budget; exceeding it means a hung coroutine.
+  TimeNs run_timeout = 30 * kSecond;
+};
+
+/// Invariant verdict of one iteration. `ok` is true iff every invariant
+/// held: all ops resolved inside the budget, every fetched payload was
+/// byte-identical to what was produced, every pool frame is back on the
+/// free list with zero leases outstanding after retirement, and the
+/// coroutine population returned to its pre-run baseline.
+struct ChaosReport {
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  uint64_t ops_attempted = 0;
+  uint64_t ops_ok = 0;
+  uint64_t ops_failed = 0;  // resolved with a clean non-OK Status
+  uint64_t echo_ok = 0;
+  uint64_t echo_failed = 0;
+  uint64_t fetch_mismatches = 0;
+  uint64_t frames_leaked = 0;
+  uint64_t leases_leaked = 0;
+  fault::FaultStats faults;
+
+  /// Determinism artifacts: identical across reruns of the same seed.
+  uint64_t executed_events = 0;
+  std::string metrics_json;
+
+  /// One-line human summary ("seed 17: ok, 75 ops, 2 crashes, ...").
+  std::string Summary(uint64_t seed) const;
+};
+
+ChaosReport RunChaosIteration(const ChaosOptions& opts);
+
+}  // namespace dmrpc::msvc
+
+#endif  // DMRPC_MSVC_CHAOS_H_

@@ -38,7 +38,13 @@ ServiceEndpoint::ServiceEndpoint(Cluster* cluster, std::string name,
   m_service_calls_ = metrics.GetCounter("msvc.service_calls");
   m_sessions_opened_ = metrics.GetCounter("msvc.sessions_opened");
   metrics.GetGauge("msvc.services")->Add(1);
+  BuildDmLayer();
+}
 
+void ServiceEndpoint::BuildDmLayer() {
+  const ClusterConfig& cfg = cluster_->config();
+  dmrpc_.reset();
+  dm_.reset();
   switch (cfg.backend) {
     case Backend::kErpc:
       break;  // no DM layer: pure pass-by-value
@@ -48,12 +54,17 @@ ServiceEndpoint::ServiceEndpoint(Cluster* cluster, std::string name,
       break;
     case Backend::kDmCxl:
       dm_ = std::make_unique<cxl::HostDmLayer>(
-          rpc_.get(), cluster_->cxl_port(node),
+          rpc_.get(), cluster_->cxl_port(node_),
           cluster_->coordinator()->node(), cluster_->coordinator()->port(),
           cfg.host_dm);
       break;
   }
   dmrpc_ = std::make_unique<core::DmRpc>(rpc_.get(), dm_.get(), cfg.dmrpc);
+}
+
+void ServiceEndpoint::Restart() {
+  sessions_.clear();
+  BuildDmLayer();
 }
 
 sim::Task<> ServiceEndpoint::Compute(TimeNs ns) {

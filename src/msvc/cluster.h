@@ -104,11 +104,26 @@ class ServiceEndpoint {
                                                   rpc::ReqType req_type,
                                                   rpc::MsgBuffer request);
 
+  /// Drops the cached session to `target` -- e.g. after the target's
+  /// process restarted and the old session went dead -- so the next
+  /// CallService establishes a fresh one.
+  void ForgetSession(const std::string& target) { sessions_.erase(target); }
+
   /// Connects the DM client (if any). Called by Cluster::InitAll.
   sim::Task<Status> Init();
 
+  /// Crash model: brings the endpoint back as a fresh process after its
+  /// host restarts. The Rpc object survives (its sessions were reset by
+  /// the crash and stay closed -- stale ids never collide with new
+  /// ones); the DM layer is rebuilt from scratch and the session cache
+  /// cleared, so the caller must run Init() again before using DM.
+  void Restart();
+
  private:
   friend class Cluster;
+
+  /// Constructs dm_ + dmrpc_ for the cluster backend (ctor and Restart).
+  void BuildDmLayer();
 
   Cluster* cluster_;
   std::string name_;

@@ -1,5 +1,6 @@
 #include "net/fabric.h"
 
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
@@ -83,6 +84,8 @@ void Fabric::SwitchIngress(Packet pkt) {
     Trace(TraceStage::kDropped, pkt);
     return;
   }
+  // Legacy uniform-loss shim (kept ahead of the fault hook so existing
+  // seeded tests observe the exact same rng draw sequence).
   if (cfg_.loss_probability > 0.0 &&
       sim_->rng().Bernoulli(cfg_.loss_probability)) {
     switch_stats_.dropped_loss++;
@@ -90,7 +93,57 @@ void Fabric::SwitchIngress(Packet pkt) {
     Trace(TraceStage::kDropped, pkt);
     return;
   }
+  if (fault_hook_ != nullptr) {
+    // Uplink traversal: the sender's host->switch cable.
+    if (!fault_hook_->IsLinkUp(pkt.src, LinkDir::kUplink)) {
+      DropFaulted(pkt, /*link_down=*/true);
+      return;
+    }
+    FaultAction act = fault_hook_->OnPacket(pkt.src, LinkDir::kUplink, pkt);
+    if (act.drop) {
+      DropFaulted(pkt, /*link_down=*/false);
+      return;
+    }
+    if (act.duplicate) {
+      switch_stats_.duplicated_fault++;
+      egress_queues_[pkt.dst]->Push(ClonePacket(pkt));
+    }
+    if (act.extra_delay_ns > 0) {
+      // Reordering: this packet re-enters the egress queue late, so
+      // traffic behind it overtakes.
+      sim_->After(act.extra_delay_ns, [this, p = std::move(pkt)]() mutable {
+        egress_queues_[p.dst]->Push(std::move(p));
+      });
+      return;
+    }
+  }
   egress_queues_[pkt.dst]->Push(std::move(pkt));
+}
+
+Packet Fabric::ClonePacket(const Packet& pkt) {
+  Packet copy;
+  copy.src = pkt.src;
+  copy.dst = pkt.dst;
+  copy.src_port = pkt.src_port;
+  copy.dst_port = pkt.dst_port;
+  copy.id = NextPacketId();
+  copy.fcs_bad = pkt.fcs_bad;
+  copy.payload = sim_->buffer_pool().Acquire(pkt.payload.size());
+  if (pkt.payload.size() > 0) {
+    std::memcpy(copy.payload.AppendRaw(pkt.payload.size()),
+                pkt.payload.data(), pkt.payload.size());
+  }
+  return copy;
+}
+
+void Fabric::DropFaulted(const Packet& pkt, bool link_down) {
+  if (link_down) {
+    switch_stats_.dropped_link_down++;
+  } else {
+    switch_stats_.dropped_fault++;
+  }
+  m_dropped_->Inc();
+  Trace(TraceStage::kDropped, pkt);
 }
 
 sim::Task<> Fabric::EgressPump(NodeId port) {
@@ -116,7 +169,29 @@ sim::Task<> Fabric::EgressPump(NodeId port) {
     m_forwarded_->Inc();
     Trace(TraceStage::kForwarded, pkt);
     NodeId dst = pkt.dst;
-    sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+    TimeNs extra = 0;
+    if (fault_hook_ != nullptr) {
+      // Downlink traversal: the receiver's switch->host cable.
+      if (!fault_hook_->IsLinkUp(dst, LinkDir::kDownlink)) {
+        DropFaulted(pkt, /*link_down=*/true);
+        continue;
+      }
+      FaultAction act = fault_hook_->OnPacket(dst, LinkDir::kDownlink, pkt);
+      if (act.drop) {
+        DropFaulted(pkt, /*link_down=*/false);
+        continue;
+      }
+      if (act.duplicate) {
+        switch_stats_.duplicated_fault++;
+        sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+                    [this, dst, p = ClonePacket(pkt)]() mutable {
+                      Trace(TraceStage::kDelivered, p);
+                      nics_[dst]->Deliver(std::move(p));
+                    });
+      }
+      extra = act.extra_delay_ns;
+    }
+    sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns + extra,
                 [this, dst, p = std::move(pkt)]() mutable {
                   Trace(TraceStage::kDelivered, p);
                   nics_[dst]->Deliver(std::move(p));

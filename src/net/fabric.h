@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/config.h"
+#include "net/fault_hook.h"
 #include "net/nic.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
@@ -20,6 +21,12 @@ struct SwitchStats {
   uint64_t forwarded = 0;
   uint64_t dropped_loss = 0;
   uint64_t dropped_unknown_dst = 0;
+  /// Packets discarded because a fault-hook rule said drop.
+  uint64_t dropped_fault = 0;
+  /// Packets discarded because their uplink or downlink was down.
+  uint64_t dropped_link_down = 0;
+  /// Extra copies created by duplication faults.
+  uint64_t duplicated_fault = 0;
 };
 
 /// Stages of a packet's life, in order, as reported to a trace sink.
@@ -79,6 +86,15 @@ class Fabric {
     drop_filter_ = std::move(filter);
   }
 
+  /// Installs the per-link fault seam (pass nullptr to detach). The hook
+  /// is consulted for every packet on both traversed links and for link
+  /// liveness; see net/fault_hook.h. The hook must outlive the fabric or
+  /// be detached first. The legacy `NetworkConfig::loss_probability` knob
+  /// keeps working independently (uniform ingress loss, applied before
+  /// the hook) as a compatibility shim for existing configs.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() { return fault_hook_; }
+
   /// Installs a packet-trace sink (pass nullptr to disable). The sink
   /// sees every TraceStage of every packet; keep it cheap.
   void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
@@ -104,6 +120,12 @@ class Fabric {
   void SwitchIngress(Packet pkt);
   void TraceSlow(TraceStage stage, const Packet& pkt);
 
+  /// Deep copy for duplication faults: the clone gets its own payload
+  /// slab (payload slabs are refcounted, and a later corruption fault
+  /// must never mutate bytes shared with the original) and a fresh id.
+  Packet ClonePacket(const Packet& pkt);
+  void DropFaulted(const Packet& pkt, bool link_down);
+
   sim::Simulation* sim_;
   NetworkConfig cfg_;
   std::vector<std::unique_ptr<Nic>> nics_;
@@ -111,6 +133,7 @@ class Fabric {
   std::vector<std::unique_ptr<sim::Channel<Packet>>> egress_queues_;
   SwitchStats switch_stats_;
   std::function<bool(const Packet&)> drop_filter_;
+  FaultHook* fault_hook_ = nullptr;
   TraceSink trace_;
   uint64_t next_packet_id_ = 1;
   obs::Counter* m_forwarded_;

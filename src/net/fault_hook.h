@@ -1,0 +1,55 @@
+#ifndef DMRPC_NET_FAULT_HOOK_H_
+#define DMRPC_NET_FAULT_HOOK_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace dmrpc::net {
+
+/// Direction of one host link, seen from the switch. Every packet
+/// traverses exactly two links: the sender's uplink (host -> switch) and
+/// the receiver's downlink (switch -> host), so (node, direction)
+/// identifies a single point-to-point cable in the rack.
+enum class LinkDir : uint8_t {
+  kUplink = 0,    // host -> switch
+  kDownlink = 1,  // switch -> host
+};
+
+/// What a fault hook decided to do with one packet on one link. The hook
+/// may additionally mutate the packet itself (e.g. mark its frame check
+/// sequence bad to model in-flight corruption, which the receiving NIC
+/// then discards).
+struct FaultAction {
+  /// Discard the packet at this hop.
+  bool drop = false;
+  /// Deliver an extra copy of the packet (duplication in the fabric).
+  bool duplicate = false;
+  /// Hold this packet back by the given amount before it continues,
+  /// letting later traffic overtake it (reordering). 0 = no delay.
+  TimeNs extra_delay_ns = 0;
+};
+
+/// Per-link fault seam of the fabric. The network layer stays ignorant of
+/// fault *policy*: it asks the installed hook about every packet at every
+/// link traversal and about link liveness, and `fault::FaultInjector`
+/// (src/fault/) supplies the scheduling. When no hook is installed the
+/// fabric takes a single-branch fast path, so the seam is free for
+/// fault-free runs.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// False while the given link is administratively down (link flap or
+  /// node crash window); the fabric drops every packet on a down link.
+  virtual bool IsLinkUp(NodeId node, LinkDir dir) const = 0;
+
+  /// Consulted once per packet per traversed link, in traversal order
+  /// (sender uplink first, receiver downlink second). May mutate `pkt`.
+  virtual FaultAction OnPacket(NodeId node, LinkDir dir, Packet& pkt) = 0;
+};
+
+}  // namespace dmrpc::net
+
+#endif  // DMRPC_NET_FAULT_HOOK_H_

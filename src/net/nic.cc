@@ -40,6 +40,18 @@ void Nic::BindPort(Port port, sim::Channel<Packet>* inbox) {
 void Nic::UnbindPort(Port port) { listeners_.Erase(port); }
 
 void Nic::Deliver(Packet pkt) {
+  if (pkt.fcs_bad) {
+    // Corrupted frame: the FCS check fails in NIC hardware, so software
+    // never sees the packet (it costs wire bandwidth, unlike a switch
+    // drop, but is otherwise equivalent to loss).
+    stats_.rx_fcs_errors++;
+    if (m_rx_fcs_errors_ == nullptr) {
+      m_rx_fcs_errors_ = sim_->metrics().GetCounter("net.rx_fcs_errors");
+    }
+    m_rx_fcs_errors_->Inc();
+    fabric_->Trace(TraceStage::kDropped, pkt);
+    return;
+  }
   stats_.rx_packets++;
   stats_.rx_bytes += pkt.payload.size();
   m_rx_packets_->Inc();

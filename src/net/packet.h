@@ -30,6 +30,13 @@ struct Packet {
   Port dst_port = 0;
   /// Monotonic per-fabric id for tracing and loss injection hooks.
   uint64_t id = 0;
+  /// Set by the fault layer to model in-flight corruption: the frame
+  /// check sequence no longer matches, so the receiving NIC discards the
+  /// frame (counted in NicStats::rx_fcs_errors) instead of delivering it.
+  /// Kept out of the wire format on purpose -- the FCS is already part of
+  /// NetworkConfig::wire_header_bytes, and real corrupted frames never
+  /// reach software either.
+  bool fcs_bad = false;
   sim::PooledBuf payload;
 
   size_t payload_size() const { return payload.size(); }

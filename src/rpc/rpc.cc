@@ -89,6 +89,7 @@ sim::Task<StatusOr<SessionId>> Rpc::Connect(net::NodeId remote,
   sess->remote = remote;
   sess->remote_port = remote_port;
   sess->connect_done = std::make_unique<sim::Completion<Status>>();
+  sess->cur_connect_rto_ns = cfg_.rto_ns;
   sess->slots.resize(cfg_.session_slots);
   sess->slot_sem = std::make_unique<sim::Semaphore>(cfg_.session_slots);
   sess->credits = std::make_unique<sim::Semaphore>(cfg_.credits);
@@ -159,6 +160,7 @@ sim::Task<Status> Rpc::Disconnect(SessionId session) {
   sess.closing = true;
   sess.disconnect_done = std::make_unique<sim::Completion<Status>>();
   sess.connect_retries = 0;
+  sess.cur_connect_rto_ns = cfg_.rto_ns;
   ++pending_ops_;
   KickScanner();
   PacketHeader hdr;
@@ -237,6 +239,12 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
             ",\"bytes\":" + std::to_string(request.size()) + "}");
   }
   co_await sess.slot_sem->Acquire();
+  // The session may have been reset while we queued for a slot.
+  if (sess.closed) {
+    sess.slot_sem->Release();
+    sim_->tracer().EndSpan(call_span, sim_->Now());
+    co_return Status::Aborted("session reset");
+  }
   m_slot_wait_ns_->Record(sim_->Now() - call_start);
   int slot_idx = -1;
   for (size_t i = 0; i < sess.slots.size(); ++i) {
@@ -256,6 +264,7 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   slot.credits_consumed = 0;
   slot.credits_returned = 0;
   slot.retries = 0;
+  slot.cur_rto_ns = cfg_.rto_ns;
   slot.resp_data.clear();
   slot.resp_seen.clear();
   slot.resp_pkts = 0;
@@ -343,6 +352,12 @@ void Rpc::OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
     stats_.stale_packets++;
     return;
   }
+  if (slot.done == nullptr || slot.done->ready()) {
+    // Already failed (timeout or session reset) in this very instant;
+    // the owning Call has not reclaimed the slot yet.
+    stats_.stale_packets++;
+    return;
+  }
   if (slot.resp_total > 0 && slot.resp_pkts == slot.resp_total) {
     stats_.stale_packets++;  // duplicate after completion
     return;
@@ -387,8 +402,10 @@ void Rpc::OnCreditReturn(const PacketHeader& hdr) {
     return;
   }
   if (hdr.pkt_idx == kProgressAckIdx) {
-    // The server is alive and still executing: reset the retry budget.
+    // The server is alive and still executing: reset the retry budget
+    // and drop back to the base RTO.
     slot.retries = 0;
+    slot.cur_rto_ns = cfg_.rto_ns;
     slot.last_tx = sim_->Now();
     return;
   }
@@ -411,6 +428,57 @@ void Rpc::FinishSlot(ClientSession& sess, ClientSlot& slot, Status status) {
 }
 
 // ---------------------------------------------------------------------------
+// Session reset (crash model)
+// ---------------------------------------------------------------------------
+
+void Rpc::ResetSession(SessionId session, Status status) {
+  if (session >= client_sessions_.size()) return;
+  ClientSession& sess = *client_sessions_[session];
+  if (sess.closed) return;
+  // Pending handshake: the Connect() caller is parked on connect_done.
+  if (!sess.connected && sess.connect_done != nullptr &&
+      !sess.connect_done->ready()) {
+    --pending_ops_;
+    sess.connect_done->Set(status);
+  }
+  // Pending teardown.
+  if (sess.closing && sess.disconnect_done != nullptr &&
+      !sess.disconnect_done->ready()) {
+    --pending_ops_;
+    sess.disconnect_done->Set(status);
+  }
+  sess.closing = false;
+  sess.closed = true;
+  // In-flight calls. Failing the slot resumes the owning Call(), which
+  // releases the slot semaphore; queued callers then observe closed.
+  for (ClientSlot& slot : sess.slots) {
+    if (slot.busy && slot.done != nullptr && !slot.done->ready()) {
+      FinishSlot(sess, slot, status);
+    }
+  }
+  stats_.session_resets++;
+  if (m_session_resets_ == nullptr) {
+    m_session_resets_ = sim_->metrics().GetCounter("rpc.session_resets");
+  }
+  m_session_resets_->Inc();
+  if (sim_->tracer().enabled()) {
+    sim_->tracer().Instant("rpc", "rpc.session_reset", sim_->Now(), node_,
+                           "{\"session\":" + std::to_string(session) + "}");
+  }
+}
+
+void Rpc::ResetAllSessions(Status status) {
+  for (size_t si = 0; si < client_sessions_.size(); ++si) {
+    ResetSession(static_cast<SessionId>(si), status);
+  }
+  // Server side: a restarted process has no memory of its sessions.
+  // Stale packets from old sessions hit the null entry and are counted
+  // as stale; clients re-connect and get fresh entries.
+  for (auto& sess : server_sessions_) sess = nullptr;
+  server_session_index_ = FlatMap64<uint16_t>();
+}
+
+// ---------------------------------------------------------------------------
 // Retransmission
 // ---------------------------------------------------------------------------
 
@@ -419,6 +487,11 @@ void Rpc::KickScanner() {
     scanner_active_ = true;
     scanner_wake_.Push(true);
   }
+}
+
+TimeNs Rpc::NextRto(TimeNs cur) const {
+  if (cfg_.rto_max_ns <= cfg_.rto_ns) return cur;  // backoff disabled
+  return std::min<TimeNs>(cur * 2, cfg_.rto_max_ns);
 }
 
 sim::Task<> Rpc::RetransmitScanner() {
@@ -436,7 +509,7 @@ sim::Task<> Rpc::RetransmitScanner() {
       // Pending handshake.
       if (!sess.connected && !sess.closed && sess.connect_done != nullptr &&
           !sess.connect_done->ready() &&
-          now - sess.last_connect_tx >= cfg_.rto_ns) {
+          now - sess.last_connect_tx >= sess.cur_connect_rto_ns) {
         if (sess.connect_retries >= cfg_.max_retries) {
           stats_.timeouts++;
           m_timeouts_->Inc();
@@ -446,6 +519,7 @@ sim::Task<> Rpc::RetransmitScanner() {
           continue;
         }
         sess.connect_retries++;
+        sess.cur_connect_rto_ns = NextRto(sess.cur_connect_rto_ns);
         stats_.retransmits++;
         m_retransmits_->Inc();
         PacketHeader hdr;
@@ -458,7 +532,7 @@ sim::Task<> Rpc::RetransmitScanner() {
       // Pending teardown.
       if (sess.closing && sess.disconnect_done != nullptr &&
           !sess.disconnect_done->ready() &&
-          now - sess.last_connect_tx >= cfg_.rto_ns) {
+          now - sess.last_connect_tx >= sess.cur_connect_rto_ns) {
         if (sess.connect_retries >= cfg_.max_retries) {
           stats_.timeouts++;
           m_timeouts_->Inc();
@@ -469,6 +543,7 @@ sim::Task<> Rpc::RetransmitScanner() {
           continue;
         }
         sess.connect_retries++;
+        sess.cur_connect_rto_ns = NextRto(sess.cur_connect_rto_ns);
         stats_.retransmits++;
         m_retransmits_->Inc();
         PacketHeader hdr;
@@ -486,7 +561,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         if (!slot.busy || slot.done == nullptr || slot.done->ready()) {
           continue;
         }
-        if (now - slot.last_tx < cfg_.rto_ns) continue;
+        if (now - slot.last_tx < slot.cur_rto_ns) continue;
         if (slot.retries >= cfg_.max_retries) {
           stats_.timeouts++;
           m_timeouts_->Inc();
@@ -494,6 +569,7 @@ sim::Task<> Rpc::RetransmitScanner() {
           continue;
         }
         slot.retries++;
+        slot.cur_rto_ns = NextRto(slot.cur_rto_ns);
         stats_.retransmits++;
         m_retransmits_->Inc();
         if (sim_->tracer().enabled()) {

@@ -35,6 +35,11 @@ struct RpcConfig {
   /// are microseconds, but the timeout must ride out server-side
   /// queueing under load).
   TimeNs rto_ns = 2 * kMillisecond;
+  /// Exponential backoff cap: each retransmission doubles the effective
+  /// RTO of that request (or handshake) up to this value, so a lossy or
+  /// partitioned path is probed at a decaying rate instead of a constant
+  /// hammer. Set <= rto_ns to disable backoff (fixed RTO).
+  TimeNs rto_max_ns = 64 * kMillisecond;
   /// Retransmissions before a request fails with TimedOut.
   int max_retries = 10;
   /// Per-packet receive-side dispatch CPU cost (single dispatch thread).
@@ -72,6 +77,8 @@ struct RpcStats {
   uint64_t timeouts = 0;
   uint64_t duplicate_requests = 0;
   uint64_t stale_packets = 0;
+  /// Sessions torn down by ResetSession/ResetAllSessions (crash model).
+  uint64_t session_resets = 0;
   uint64_t tx_packets = 0;
   uint64_t rx_packets = 0;
   /// Times a request packet had to wait for a flow-control credit.
@@ -125,6 +132,18 @@ class Rpc {
   /// Payload capacity of one packet.
   size_t max_data_per_packet() const;
 
+  /// Fails every outstanding operation (connect, call, disconnect) on
+  /// `session` with `status` and marks the session closed; later Calls on
+  /// it fail immediately. Used by the fault layer when the peer crashes
+  /// or the local process gives up on the path. Idempotent.
+  void ResetSession(SessionId session, Status status);
+
+  /// Crash model for this endpoint's host: resets every client session
+  /// and discards all server-side session state (a restarted process
+  /// reconnects from scratch; stale packets from old sessions are
+  /// dropped as unknown). Safe to call repeatedly.
+  void ResetAllSessions(Status status);
+
   /// Attaches a per-host memory-bandwidth meter: every transmitted or
   /// received payload byte is charged as one DRAM transfer (NIC DMA),
   /// which is what Fig. 6b measures on the load-balancer server.
@@ -141,6 +160,9 @@ class Rpc {
     int credits_returned = 0;
     int retries = 0;
     TimeNs last_tx = 0;
+    /// Effective RTO for this request; doubles on each retransmission up
+    /// to rto_max_ns, resets on a server progress ack.
+    TimeNs cur_rto_ns = 0;
     // Response reassembly.
     std::vector<uint8_t> resp_data;
     std::vector<bool> resp_seen;
@@ -158,6 +180,9 @@ class Rpc {
     bool closed = false;
     int connect_retries = 0;
     TimeNs last_connect_tx = 0;
+    /// Effective RTO for the connect/disconnect handshake (same backoff
+    /// rule as ClientSlot::cur_rto_ns).
+    TimeNs cur_connect_rto_ns = 0;
     std::unique_ptr<sim::Completion<Status>> connect_done;
     std::unique_ptr<sim::Completion<Status>> disconnect_done;
     std::vector<ClientSlot> slots;
@@ -211,6 +236,8 @@ class Rpc {
   sim::Task<> RetransmitScanner();
   void FinishSlot(ClientSession& sess, ClientSlot& slot, Status status);
   void KickScanner();
+  /// Next effective RTO after a retransmission (exponential, capped).
+  TimeNs NextRto(TimeNs cur) const;
 
   void SendPacket(net::NodeId dst, net::Port dst_port,
                   const PacketHeader& hdr, const uint8_t* frag,
@@ -252,6 +279,10 @@ class Rpc {
   obs::Counter* m_credit_stalls_;
   obs::Counter* m_tx_packets_;
   obs::Counter* m_rx_packets_;
+  /// Registered lazily on the first reset so the registry dump (a
+  /// determinism artifact with baked-in fingerprints in bench/simcore)
+  /// stays byte-identical for fault-free runs.
+  obs::Counter* m_session_resets_ = nullptr;
   obs::Timer* m_call_ns_;
   obs::Timer* m_slot_wait_ns_;
   obs::Timer* m_credit_stall_ns_;

@@ -21,6 +21,7 @@
 #include "dmnet/client.h"
 #include "dmnet/protocol.h"
 #include "dmnet/server.h"
+#include "fault/fault.h"
 #include "net/fabric.h"
 #include "sim/simulation.h"
 
@@ -79,6 +80,9 @@ class NetHarness : public Harness {
     for (auto& s : servers_) total += s->pool().free_frames();
     return total;
   }
+  net::Fabric* fabric() { return &fabric_; }
+  size_t num_servers() const { return servers_.size(); }
+  dmnet::DmServer* server(size_t i) { return servers_[i].get(); }
 
  private:
   sim::Simulation sim_;
@@ -295,6 +299,99 @@ TEST_P(CowPropertyTest, RandomInterleavingsMatchModel) {
   EXPECT_TRUE(result->ok()) << result->ToString();
   // Every frame must be back on a free list.
   EXPECT_EQ(h->TotalFreeFrames(), frames_before);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-interleaved COW
+// ---------------------------------------------------------------------------
+
+// A writer shares an object, a reader maps it, the writer dirties its own
+// mapping (COW), and then the writer's NODE crashes mid-sequence. The
+// crash reclaims the writer's lease (its ref and private mapping), but
+// the reader's mapping holds its own page shares: every byte the reader
+// observes afterwards must still equal its create-time snapshot.
+TEST(CowCrashTest, ReaderPagesSurviveWriterNodeCrash) {
+  NetHarness h;
+  fault::FaultInjector injector(h.fabric());
+  constexpr net::NodeId kWriterNode = 0;
+  injector.AddNodeListener([&h](net::NodeId node, fault::NodeEvent ev) {
+    if (ev != fault::NodeEvent::kCrash) return;
+    for (size_t s = 0; s < h.num_servers(); ++s) {
+      h.server(s)->ReclaimPeer(node);
+    }
+  });
+
+  size_t frames_before = 0;
+  std::optional<Status> result;
+  auto driver = [&]() -> sim::Task<> {
+    auto fail = [&result](const std::string& what, const Status& st) {
+      result = Status(st.code(), what + ": " + st.message());
+    };
+    Status init = co_await h.Init();
+    if (!init.ok()) {
+      result = init;
+      co_return;
+    }
+    frames_before = h.TotalFreeFrames();
+    dm::DmClient* writer = h.actor(0);  // lives on kWriterNode
+    dm::DmClient* reader = h.actor(1);
+
+    // Writer shares a 3-page object spanning page boundaries.
+    std::vector<uint8_t> snapshot(3 * kPage);
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      snapshot[i] = static_cast<uint8_t>(i * 131 + 7);
+    }
+    auto ref = co_await writer->PutRef(snapshot.data(), snapshot.size());
+    if (!ref.ok()) co_return fail("PutRef", ref.status());
+    auto raddr = co_await reader->MapRef(*ref);
+    if (!raddr.ok()) co_return fail("reader MapRef", raddr.status());
+
+    // Writer maps its own object and scribbles over all three pages;
+    // copy-on-write must keep the reader's view at the snapshot.
+    auto waddr = co_await writer->MapRef(*ref);
+    if (!waddr.ok()) co_return fail("writer MapRef", waddr.status());
+    std::vector<uint8_t> junk(snapshot.size(), 0xee);
+    Status wst = co_await writer->Write(*waddr, junk.data(), junk.size());
+    if (!wst.ok()) co_return fail("writer Write", wst);
+
+    auto check_reader = [&]() -> sim::Task<Status> {
+      std::vector<uint8_t> got(snapshot.size());
+      Status st = co_await reader->Read(*raddr, got.data(), got.size());
+      if (!st.ok()) co_return st;
+      if (got != snapshot) {
+        co_return Status::Internal("reader view diverged from snapshot");
+      }
+      co_return Status::OK();
+    };
+    Status pre = co_await check_reader();
+    if (!pre.ok()) co_return fail("pre-crash read", pre);
+
+    // The writer's host dies mid-sequence and restarts shortly after.
+    // Its lease -- the ref AND its dirty private mapping -- is reclaimed
+    // at the crash instant by the node listener above.
+    sim::Simulation* sim = h.sim();
+    fault::FaultPlan plan;
+    plan.Crash(kWriterNode, sim->Now() + 1 * kMillisecond,
+               sim->Now() + 2 * kMillisecond);
+    injector.Schedule(plan);
+    co_await sim::Delay(3 * kMillisecond);
+
+    Status post = co_await check_reader();
+    if (!post.ok()) co_return fail("post-crash read", post);
+
+    // The reader still owns its mapping and releases it normally; the
+    // writer's side was already swept by the reclaim.
+    Status fst = co_await reader->Free(*raddr);
+    if (!fst.ok()) co_return fail("reader Free", fst);
+    result = Status::OK();
+  };
+  h.sim()->Spawn(driver());
+  h.sim()->RunFor(120 * kSecond);
+  ASSERT_TRUE(result.has_value()) << "scenario did not finish";
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // Conservation: the reader's release plus the crash reclaim account
+  // for every frame the sequence touched.
+  EXPECT_EQ(h.TotalFreeFrames(), frames_before);
 }
 
 std::string CaseName(const ::testing::TestParamInfo<Case>& info) {

@@ -1,0 +1,158 @@
+// Focused tests for the per-process VA allocation tree: exhaustion,
+// alignment/rounding, free-list reuse and coalescing, and the reserved
+// null page at base 0.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dm/va_allocator.h"
+
+namespace dmrpc::dm {
+namespace {
+
+constexpr uint32_t kPage = 4096;
+
+TEST(VaAllocatorTest, AllocationsArePageAlignedAndRounded) {
+  VaAllocator va(1 << 20, 128 * kPage, kPage);
+  auto a = va.Alloc(1);
+  auto b = va.Alloc(kPage);
+  auto c = va.Alloc(kPage + 1);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a % kPage, 0u);
+  EXPECT_EQ(*b % kPage, 0u);
+  EXPECT_EQ(*c % kPage, 0u);
+  EXPECT_EQ(*va.RangeSize(*a), kPage);           // 1 byte -> one page
+  EXPECT_EQ(*va.RangeSize(*b), kPage);           // exact fit stays exact
+  EXPECT_EQ(*va.RangeSize(*c), 2 * kPage);       // one byte over -> two
+  EXPECT_EQ(va.allocated_bytes(), 4u * kPage);
+  EXPECT_EQ(va.allocation_count(), 3u);
+}
+
+TEST(VaAllocatorTest, ZeroSizeAllocationIsRejected) {
+  VaAllocator va(1 << 20, 4 * kPage, kPage);
+  EXPECT_FALSE(va.Alloc(0).ok());
+  EXPECT_EQ(va.allocation_count(), 0u);
+}
+
+TEST(VaAllocatorTest, ExhaustionFailsCleanlyAndFreeingRecovers) {
+  VaAllocator va(1 << 20, 4 * kPage, kPage);
+  std::vector<RemoteAddr> held;
+  for (int i = 0; i < 4; ++i) {
+    auto r = va.Alloc(kPage);
+    ASSERT_TRUE(r.ok()) << i;
+    held.push_back(*r);
+  }
+  auto overflow = va.Alloc(1);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfMemory);
+  // A failed Alloc must not corrupt accounting.
+  EXPECT_EQ(va.allocated_bytes(), 4u * kPage);
+  ASSERT_TRUE(va.Free(held.back()).ok());
+  held.pop_back();
+  EXPECT_TRUE(va.Alloc(kPage).ok());
+}
+
+TEST(VaAllocatorTest, OversizeRequestFailsEvenWithPartialSpace) {
+  VaAllocator va(1 << 20, 4 * kPage, kPage);
+  ASSERT_TRUE(va.Alloc(kPage).ok());
+  // 3 pages remain but no 4-page hole exists.
+  EXPECT_FALSE(va.Alloc(4 * kPage).ok());
+  EXPECT_TRUE(va.Alloc(3 * kPage).ok());
+}
+
+TEST(VaAllocatorTest, FreedRangeIsReusedFirstFit) {
+  VaAllocator va(1 << 20, 8 * kPage, kPage);
+  auto a = va.Alloc(2 * kPage);
+  auto b = va.Alloc(2 * kPage);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(va.Free(*a).ok());
+  // First fit: the hole left by `a` (lowest address) is reused.
+  auto c = va.Alloc(kPage);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(VaAllocatorTest, AdjacentFreeRangesCoalesce) {
+  VaAllocator va(1 << 20, 4 * kPage, kPage);
+  auto a = va.Alloc(kPage);
+  auto b = va.Alloc(kPage);
+  auto c = va.Alloc(kPage);
+  auto d = va.Alloc(kPage);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  // Free in an order that exercises prev-merge, next-merge, and both.
+  ASSERT_TRUE(va.Free(*b).ok());
+  ASSERT_TRUE(va.Free(*d).ok());
+  ASSERT_TRUE(va.Free(*c).ok());  // bridges b and d
+  ASSERT_TRUE(va.Free(*a).ok());  // prepends to the merged hole
+  // Only a fully-coalesced free list can satisfy one span-sized request.
+  auto whole = va.Alloc(4 * kPage);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, *a);
+}
+
+TEST(VaAllocatorTest, UnknownAndDoubleFreesAreRejected) {
+  VaAllocator va(1 << 20, 4 * kPage, kPage);
+  auto a = va.Alloc(kPage);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(va.Free(*a + kPage).ok());  // not an allocation start
+  EXPECT_FALSE(va.Free(0).ok());
+  ASSERT_TRUE(va.Free(*a).ok());
+  EXPECT_FALSE(va.Free(*a).ok());  // double free
+  EXPECT_EQ(va.allocated_bytes(), 0u);
+}
+
+TEST(VaAllocatorTest, ContainsCoversInteriorBytesOnly) {
+  VaAllocator va(1 << 20, 8 * kPage, kPage);
+  auto a = va.Alloc(2 * kPage);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(va.Contains(*a));
+  EXPECT_TRUE(va.Contains(*a + 1));
+  EXPECT_TRUE(va.Contains(*a + 2 * kPage - 1));
+  EXPECT_FALSE(va.Contains(*a + 2 * kPage));
+  EXPECT_FALSE(va.Contains(*a - 1));
+  ASSERT_TRUE(va.Free(*a).ok());
+  EXPECT_FALSE(va.Contains(*a));
+}
+
+TEST(VaAllocatorTest, BaseZeroReservesTheNullPage) {
+  // Address 0 is the null remote address; an allocator rooted at 0 must
+  // never hand it out.
+  VaAllocator va(0, 4 * kPage, kPage);
+  std::set<RemoteAddr> seen;
+  for (;;) {
+    auto r = va.Alloc(kPage);
+    if (!r.ok()) break;
+    EXPECT_NE(*r, kNullRemoteAddr);
+    EXPECT_GE(*r, kPage);
+    EXPECT_TRUE(seen.insert(*r).second) << "duplicate address";
+  }
+  // One page of the span was sacrificed to the null reservation.
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(VaAllocatorTest, ChurnConservesSpace) {
+  // Alternating alloc/free churn must neither leak VA space nor fragment
+  // it irrecoverably (frees coalesce back to one hole).
+  VaAllocator va(1 << 20, 128 * kPage, kPage);
+  std::vector<RemoteAddr> live;
+  for (int round = 0; round < 40; ++round) {
+    uint64_t size = ((round * 7) % 3 + 1) * kPage;
+    auto r = va.Alloc(size);
+    ASSERT_TRUE(r.ok()) << "round " << round;
+    live.push_back(*r);
+    if (round % 2 == 1) {
+      // Free the older of the two most recent allocations.
+      ASSERT_TRUE(va.Free(live[live.size() - 2]).ok());
+      live.erase(live.end() - 2);
+    }
+  }
+  for (RemoteAddr addr : live) ASSERT_TRUE(va.Free(addr).ok());
+  EXPECT_EQ(va.allocated_bytes(), 0u);
+  EXPECT_EQ(va.allocation_count(), 0u);
+  // The whole span is one hole again.
+  EXPECT_TRUE(va.Alloc(128 * kPage).ok());
+}
+
+}  // namespace
+}  // namespace dmrpc::dm
