@@ -57,8 +57,7 @@ void BlockStorageApp::InstallGateway(ServiceEndpoint* ep) {
         fwd.Append<uint32_t>(volume);
         fwd.Append<uint64_t>(lba);
         fwd.Append<uint64_t>(next_version_++);
-        fwd.AppendBytes(req.data() + req.read_pos(),
-                        req.size() - req.read_pos());
+        fwd.AppendRangeOf(req, req.read_pos(), req.size() - req.read_pos());
         auto resp = co_await ep->CallService(StoreName(shard, 0),
                                              kStoreWrite, std::move(fwd));
         if (!resp.ok()) co_return ErrorResp();
@@ -108,7 +107,7 @@ void BlockStorageApp::InstallStorageNode(ServiceEndpoint* ep, int shard,
           if (!region.ok()) co_return ErrorResp();
           incoming.region = std::move(*region);
         } else {
-          incoming.bytes = payload.inline_bytes();
+          incoming.bytes = payload.inline_data();
           co_await ep->ComputeBytes(incoming.bytes.size(), 100.0);  // copy
         }
 

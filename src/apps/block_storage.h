@@ -70,8 +70,9 @@ class BlockStorageApp {
     uint64_t size = 0;
     /// DmRPC backends: a held mapping that keeps the pages alive.
     core::MappedRegion region;
-    /// eRPC backend: the raw bytes.
-    std::vector<uint8_t> bytes;
+    /// eRPC backend: the block data as a slice chain (shares the
+    /// request's slabs instead of re-staging a flat copy).
+    rpc::MsgBuffer bytes;
   };
   /// Per storage-node state, keyed by (volume, lba).
   struct NodeState {

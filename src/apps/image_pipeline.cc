@@ -113,7 +113,7 @@ void ImagePipelineApp::InstallImgProc(ServiceEndpoint* ep) {
         co_await ep->ForwardCost(req.size());
         size_t payload_pos = req.read_pos();
         MsgBuffer fwd;
-        fwd.AppendBytes(req.data() + payload_pos, req.size() - payload_pos);
+        fwd.AppendRangeOf(req, payload_pos, req.size() - payload_pos);
         rpc::ReqType req_type =
             op == Op::kTranscode ? kTranscodeReq : kCompressReq;
         const std::string target =

@@ -27,11 +27,11 @@ LoadBalancerApp::LoadBalancerApp(msvc::Cluster* cluster, net::NodeId lb_node,
     w->RegisterHandler(
         kWorkReq,
         [w](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
-          // The worker consumes the request: materialize the argument
-          // (final consumer) and acknowledge.
+          // The worker consumes the request: fetch the argument as a
+          // slice chain (final consumer; no flattening) and acknowledge.
           Payload payload = Payload::DecodeFrom(&req);
           MsgBuffer resp;
-          auto data = co_await w->dmrpc()->Fetch(payload);
+          auto data = co_await w->dmrpc()->FetchBuf(payload);
           if (!data.ok()) {
             resp.Append<uint8_t>(1);
             co_return resp;

@@ -23,6 +23,16 @@ uint64_t SumBytes(const std::vector<uint8_t>& data) {
   for (uint8_t b : data) sum += b;
   return sum;
 }
+
+/// Sums a slice chain in place -- the aggregate walks the fetched slabs
+/// directly instead of flattening them first.
+uint64_t SumChain(const rpc::MsgBuffer& data) {
+  uint64_t sum = 0;
+  for (const sim::BufSlice& seg : data.segments()) {
+    for (size_t i = 0; i < seg.size(); ++i) sum += seg.data()[i];
+  }
+  return sum;
+}
 }  // namespace
 
 NestedChainApp::NestedChainApp(msvc::Cluster* cluster, int chain_len,
@@ -72,13 +82,13 @@ void NestedChainApp::InstallAggregator(ServiceEndpoint* ep) {
       [ep](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
         Payload payload = Payload::DecodeFrom(&req);
         MsgBuffer resp;
-        auto data = co_await ep->dmrpc()->Fetch(payload);
+        auto data = co_await ep->dmrpc()->FetchBuf(payload);
         if (!data.ok()) {
           resp.Append<uint8_t>(1);
           co_return resp;
         }
         co_await ep->ComputeBytes(data->size(), kAggregateNsPerKb);
-        uint64_t sum = SumBytes(*data);
+        uint64_t sum = SumChain(*data);
         // Final consumer drops the Ref share (off the response path).
         ep->Detach(ep->dmrpc()->Release(payload));
         resp.Append<uint8_t>(0);

@@ -317,7 +317,7 @@ void SocialNetApp::InstallPostStorage(ServiceEndpoint* ep) {
           it->second.media.EncodeTo(&resp);
           found++;
         }
-        std::memcpy(resp.data() + count_pos, &found, sizeof(found));
+        resp.OverwriteAt(count_pos, &found, sizeof(found));
         co_return resp;
       });
 }
@@ -371,7 +371,7 @@ sim::Task<StatusOr<uint64_t>> SocialNetApp::DoRequest(
   for (uint32_t i = 0; i < n; ++i) {
     resp->Read<uint64_t>();  // post id
     Payload media = Payload::DecodeFrom(&*resp);
-    auto data = co_await client->dmrpc()->Fetch(media);
+    auto data = co_await client->dmrpc()->FetchBuf(media);
     if (!data.ok()) co_return data.status();
     if (data->size() != cfg_.media_bytes) {
       co_return Status::Internal("post media truncated");

@@ -53,8 +53,14 @@ sim::Task<StatusOr<Payload>> DmRpc::MakePayload(
 
 sim::Task<StatusOr<std::vector<uint8_t>>> DmRpc::Fetch(
     const Payload& payload) {
+  auto buf = co_await FetchBuf(payload);
+  if (!buf.ok()) co_return buf.status();
+  co_return buf->CopyBytes();
+}
+
+sim::Task<StatusOr<rpc::MsgBuffer>> DmRpc::FetchBuf(const Payload& payload) {
   if (!payload.is_ref()) {
-    co_return payload.inline_bytes();
+    co_return payload.inline_data();
   }
   DMRPC_CHECK(dm_ != nullptr) << "by-ref payload without a DM backend";
   // Compound form of map_ref + rread + rfree -- one DM operation.

@@ -101,8 +101,15 @@ class DmRpc {
   sim::Task<StatusOr<Payload>> MakePayload(const std::vector<uint8_t>& data);
 
   /// Materializes a payload into local bytes (map_ref + rread + rfree for
-  /// the by-ref case). Does not consume the payload's Ref share.
+  /// the by-ref case). Does not consume the payload's Ref share. The
+  /// flattening copy is accounted to rpc.bytes_copied; consumers that can
+  /// read a chain should prefer FetchBuf.
   sim::Task<StatusOr<std::vector<uint8_t>>> Fetch(const Payload& payload);
+
+  /// Like Fetch but returns the data as a slice chain: inline payloads
+  /// share their slices, by-ref payloads hand back the backend's chain
+  /// (response slices / one pooled slab) -- no copy either way.
+  sim::Task<StatusOr<rpc::MsgBuffer>> FetchBuf(const Payload& payload);
 
   /// Maps a by-reference payload for in-place access (consumers that
   /// write a fraction of the data, Fig. 8). For inline payloads returns

@@ -21,10 +21,19 @@ class Payload {
  public:
   Payload() = default;
 
-  static Payload MakeInline(std::vector<uint8_t> bytes) {
+  static Payload MakeInline(const std::vector<uint8_t>& bytes) {
     Payload p;
     p.is_ref_ = false;
-    p.bytes_ = std::move(bytes);
+    p.data_ = rpc::MsgBuffer(bytes);
+    return p;
+  }
+
+  /// Wraps an existing message chain without copying its bytes: the
+  /// payload shares the chain's slices.
+  static Payload MakeInline(rpc::MsgBuffer data) {
+    Payload p;
+    p.is_ref_ = false;
+    p.data_ = std::move(data);
     return p;
   }
 
@@ -38,16 +47,17 @@ class Payload {
   bool is_ref() const { return is_ref_; }
 
   /// Logical size of the argument data.
-  uint64_t size() const { return is_ref_ ? ref_.size : bytes_.size(); }
+  uint64_t size() const { return is_ref_ ? ref_.size : data_.size(); }
 
   /// Bytes this payload occupies on the wire when forwarded in an RPC --
   /// the quantity pass-by-reference shrinks.
   uint64_t WireBytes() const {
-    return 1 + 8 + (is_ref_ ? ref_.WireBytes() : bytes_.size());
+    return 1 + 8 + (is_ref_ ? ref_.WireBytes() : data_.size());
   }
 
-  const std::vector<uint8_t>& inline_bytes() const { return bytes_; }
-  std::vector<uint8_t>&& TakeInlineBytes() && { return std::move(bytes_); }
+  /// The inline data as a slice chain (no bytes move to access it).
+  const rpc::MsgBuffer& inline_data() const { return data_; }
+  rpc::MsgBuffer TakeInlineData() && { return std::move(data_); }
   const dm::Ref& ref() const { return ref_; }
 
   void EncodeTo(rpc::MsgBuffer* out) const {
@@ -55,8 +65,10 @@ class Payload {
     if (is_ref_) {
       ref_.EncodeTo(out);
     } else {
-      out->Append<uint64_t>(bytes_.size());
-      out->AppendBytes(bytes_.data(), bytes_.size());
+      out->Append<uint64_t>(data_.size());
+      // Slice fast path: the inline bytes join the outgoing chain by
+      // reference; no serialization copy.
+      out->AppendRangeOf(data_, 0, data_.size());
     }
   }
 
@@ -67,15 +79,16 @@ class Payload {
       p.ref_ = dm::Ref::DecodeFrom(in);
     } else {
       uint64_t n = in->Read<uint64_t>();
-      p.bytes_.resize(n);
-      in->ReadBytes(p.bytes_.data(), n);
+      // Slice fast path: split the inline bytes out of the incoming
+      // chain by reference; no deserialization copy.
+      p.data_ = in->ReadChain(n);
     }
     return p;
   }
 
  private:
   bool is_ref_ = false;
-  std::vector<uint8_t> bytes_;
+  rpc::MsgBuffer data_;
   dm::Ref ref_;
 };
 

@@ -352,12 +352,16 @@ sim::Task<StatusOr<Ref>> HostDmLayer::PutRef(const uint8_t* data,
   co_return ref;
 }
 
-sim::Task<StatusOr<std::vector<uint8_t>>> HostDmLayer::FetchRef(
-    const Ref& ref) {
+sim::Task<StatusOr<rpc::MsgBuffer>> HostDmLayer::FetchRef(const Ref& ref) {
   DMRPC_CHECK(initialized_);
   DMRPC_CHECK(ref.backend == Ref::Backend::kCxl);
-  std::vector<uint8_t> out(ref.size);
-  co_await port_->ReadFramesBulk(ref.pages, out.data(), ref.size);
+  // The fetched bytes land in exactly one pooled slab; the chain hands
+  // it to the consumer without a further copy.
+  rpc::MsgBuffer out;
+  if (ref.size > 0) {
+    co_await port_->ReadFramesBulk(ref.pages, out.AppendContiguous(ref.size),
+                                   ref.size);
+  }
   co_return out;
 }
 

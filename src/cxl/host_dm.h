@@ -85,9 +85,8 @@ class HostDmLayer : public dm::DmClient {
   sim::Task<StatusOr<dm::Ref>> PutRef(const uint8_t* data,
                                       uint64_t size) override;
   /// Compound consumer path: streams the referenced pages through the
-  /// CXL port without mapping them.
-  sim::Task<StatusOr<std::vector<uint8_t>>> FetchRef(
-      const dm::Ref& ref) override;
+  /// CXL port into one pooled slab without mapping them.
+  sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const dm::Ref& ref) override;
 
   const HostDmStats& stats() const { return stats_; }
   CxlPort* port() { return port_; }

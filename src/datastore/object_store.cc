@@ -32,7 +32,9 @@ sim::Task<StatusOr<ObjectId>> DataStoreNode::Put(const uint8_t* data,
   co_await sim::Delay(cost);
   meter_.Charge(mem::MemKind::kLocalDram, 2 * size);
   ObjectId id{node_, next_seq_++};
-  objects_.emplace(id, std::vector<uint8_t>(data, data + size));
+  MsgBuffer stored;
+  stored.AppendBytes(data, size);
+  objects_.emplace(id, std::move(stored));
   stats_.puts++;
   stats_.bytes_copied += size;
   co_return id;
@@ -57,9 +59,9 @@ sim::Task<StatusOr<std::vector<uint8_t>>> DataStoreNode::Get(
     Status st = dmnet::TakeStatus(&*resp);
     if (!st.ok()) co_return st;
     uint64_t n = resp->Read<uint64_t>();
-    std::vector<uint8_t> bytes(n);
-    resp->ReadBytes(bytes.data(), n);
-    // Copy into the local store (it stays immutable and cached there).
+    // The local store adopts the response's slices; the store-ingest copy
+    // is charged in simulated time and counters but no host bytes move.
+    MsgBuffer bytes = resp->ReadChain(n);
     co_await sim::Delay(cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
                                            mem::MemKind::kLocalDram, n));
     meter_.Charge(mem::MemKind::kLocalDram, 2 * n);
@@ -71,14 +73,14 @@ sim::Task<StatusOr<std::vector<uint8_t>>> DataStoreNode::Get(
   }
   // Second unconditional copy: store memory -> user heap (the store copy
   // is immutable; users never get direct pointers into it).
-  const std::vector<uint8_t>& stored = it->second;
+  const MsgBuffer& stored = it->second;
   TimeNs cost = static_cast<TimeNs>(cfg_.ser_ns_per_byte * stored.size()) +
                 cfg_.memory.CopyNs(mem::MemKind::kLocalDram,
                                    mem::MemKind::kLocalDram, stored.size());
   co_await sim::Delay(cost);
   meter_.Charge(mem::MemKind::kLocalDram, 2 * stored.size());
   stats_.bytes_copied += stored.size();
-  co_return stored;  // copies
+  co_return stored.CopyBytes();
 }
 
 sim::Task<Status> DataStoreNode::Delete(const ObjectId& id) {
@@ -112,14 +114,15 @@ sim::Task<MsgBuffer> DataStoreNode::HandleFetch(ReqContext ctx,
     dmnet::PutStatus(&resp, Status::NotFound("object not in owner store"));
     co_return resp;
   }
-  const std::vector<uint8_t>& bytes = it->second;
+  const MsgBuffer& bytes = it->second;
   // Reading the object out of store memory onto the wire.
   co_await sim::Delay(cfg_.memory.AccessNs(mem::MemKind::kLocalDram,
                                            bytes.size()));
   meter_.Charge(mem::MemKind::kLocalDram, bytes.size());
   dmnet::PutStatus(&resp, Status::OK());
   resp.Append<uint64_t>(bytes.size());
-  resp.AppendBytes(bytes.data(), bytes.size());
+  // The response shares the stored slices; serialization moves no bytes.
+  resp.AppendRangeOf(bytes, 0, bytes.size());
   co_return resp;
 }
 

@@ -116,7 +116,10 @@ class DataStoreNode {
   DataStoreConfig cfg_;
   std::unique_ptr<rpc::Rpc> rpc_;
   uint64_t next_seq_ = 1;
-  std::map<ObjectId, std::vector<uint8_t>> objects_;
+  /// Store memory: each object held as a slice chain. Remote fetches park
+  /// the response slices directly (the store's modeled copy costs are
+  /// charged in simulated time, not performed on host memory).
+  std::map<ObjectId, rpc::MsgBuffer> objects_;
   std::unordered_map<net::NodeId, rpc::SessionId> peer_sessions_;
   mem::BandwidthMeter meter_;
   DataStoreStats stats_;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "dm/ref.h"
 #include "dm/va_allocator.h"
+#include "rpc/wire.h"
 #include "sim/task.h"
 
 namespace dmrpc::dm {
@@ -71,8 +72,10 @@ class DmClient {
                                           uint64_t size) = 0;
 
   /// Reads the full contents a Ref points to (read-only; does not map).
-  virtual sim::Task<StatusOr<std::vector<uint8_t>>> FetchRef(
-      const Ref& ref) = 0;
+  /// Returned as a slice chain: the network backend hands back the
+  /// response slices it received, the CXL backend lands the pages in
+  /// pooled slabs -- neither copies into a flat buffer.
+  virtual sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const Ref& ref) = 0;
 };
 
 }  // namespace dmrpc::dm

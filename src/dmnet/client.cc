@@ -214,8 +214,7 @@ sim::Task<Status> DmNetClient::WriteInPlace(RemoteAddr addr,
   co_return TakeStatus(&*resp);
 }
 
-sim::Task<StatusOr<std::vector<uint8_t>>> DmNetClient::FetchRef(
-    const Ref& ref) {
+sim::Task<StatusOr<rpc::MsgBuffer>> DmNetClient::FetchRef(const Ref& ref) {
   DMRPC_CHECK(initialized_);
   DMRPC_CHECK(ref.backend == Ref::Backend::kNet);
   auto i = RouteNode(ref.server);
@@ -227,9 +226,9 @@ sim::Task<StatusOr<std::vector<uint8_t>>> DmNetClient::FetchRef(
   Status st = TakeStatus(&*resp);
   if (!st.ok()) co_return st;
   uint64_t n = resp->Read<uint64_t>();
-  std::vector<uint8_t> out(n);
-  resp->ReadBytes(out.data(), n);
-  co_return out;
+  // Pass the page bytes through as the response's own slices: the data
+  // travels reassembly -> consumer without touching a flat staging copy.
+  co_return resp->ReadChain(n);
 }
 
 }  // namespace dmrpc::dmnet

@@ -47,8 +47,7 @@ class DmNetClient : public dm::DmClient {
                          uint64_t size) override;
   sim::Task<StatusOr<dm::Ref>> PutRef(const uint8_t* data,
                                       uint64_t size) override;
-  sim::Task<StatusOr<std::vector<uint8_t>>> FetchRef(
-      const dm::Ref& ref) override;
+  sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const dm::Ref& ref) override;
 
   /// DSM-mode write: mutates shared pages IN PLACE, bypassing
   /// copy-on-write. Other mappings of the same pages observe the new

@@ -27,16 +27,20 @@ enum DmReqType : uint8_t {
 /// Default UDP port DM servers listen on.
 inline constexpr uint16_t kDmServerPort = 7000;
 
-/// Encodes a status code as the leading byte of a response.
+/// Encodes a status as the head of a response: one code byte, followed
+/// (only on error) by the length-prefixed status message, so clients see
+/// the server's actual diagnostic instead of a generic placeholder. The
+/// hot OK path stays a single byte.
 inline void PutStatus(rpc::MsgBuffer* out, const Status& st) {
   out->Append<uint8_t>(static_cast<uint8_t>(st.code()));
+  if (!st.ok()) out->AppendString(st.message());
 }
 
-/// Reads the leading status byte of a response.
+/// Reads the status head written by PutStatus.
 inline Status TakeStatus(rpc::MsgBuffer* in) {
   auto code = static_cast<StatusCode>(in->Read<uint8_t>());
   if (code == StatusCode::kOk) return Status::OK();
-  return Status(code, "DM server error");
+  return Status(code, in->ReadString());
 }
 
 }  // namespace dmrpc::dmnet

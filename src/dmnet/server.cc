@@ -492,12 +492,15 @@ sim::Task<MsgBuffer> DmServer::HandleRead(ReqContext ctx, MsgBuffer req) {
     uint64_t in_page = cur - page_va;
     uint64_t chunk = std::min<uint64_t>(len - done, cfg_.page_size - in_page);
     FrameId frame = Translate(pid, page_va);
+    // Each page chunk lands in exactly one pooled slab (the modeled
+    // frame -> wire DMA); the response chain carries the slabs to the
+    // NIC without re-staging them.
     if (frame == dm::kInvalidFrame) {
       // Never-written page reads as zeros (zero-page semantics).
-      std::vector<uint8_t> zeros(chunk, 0);
-      resp.AppendBytes(zeros.data(), chunk);
+      std::memset(resp.AppendContiguous(chunk), 0, chunk);
     } else {
-      resp.AppendBytes(pool_.FrameData(frame) + in_page, chunk);
+      std::memcpy(resp.AppendContiguous(chunk),
+                  pool_.FrameData(frame) + in_page, chunk);
     }
     done += chunk;
   }
@@ -634,7 +637,9 @@ sim::Task<MsgBuffer> DmServer::HandleFetchRef(ReqContext ctx,
   uint64_t remaining = entry.size;
   for (dm::FrameId frame : entry.frames) {
     uint64_t chunk = std::min<uint64_t>(cfg_.page_size, remaining);
-    resp.AppendBytes(pool_.FrameData(frame), chunk);
+    // One pooled slab per page frame (the modeled frame -> wire DMA);
+    // the chain hands the slabs through fragmentation untouched.
+    std::memcpy(resp.AppendContiguous(chunk), pool_.FrameData(frame), chunk);
     remaining -= chunk;
   }
   meter_.Charge(mem::MemKind::kLocalDram, entry.size);

@@ -35,7 +35,7 @@ void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
         track,
         "{\"pkt\":" + std::to_string(pkt.id) + ",\"src\":" +
             std::to_string(pkt.src) + ",\"dst\":" + std::to_string(pkt.dst) +
-            ",\"bytes\":" + std::to_string(pkt.payload.size()) + "}");
+            ",\"bytes\":" + std::to_string(pkt.payload_size()) + "}");
   }
   if (!trace_) return;
   TraceEvent ev;
@@ -46,7 +46,7 @@ void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
   ev.dst = pkt.dst;
   ev.src_port = pkt.src_port;
   ev.dst_port = pkt.dst_port;
-  ev.bytes = static_cast<uint32_t>(pkt.payload.size());
+  ev.bytes = static_cast<uint32_t>(pkt.payload_size());
   trace_(ev);
 }
 
@@ -133,6 +133,9 @@ Packet Fabric::ClonePacket(const Packet& pkt) {
     std::memcpy(copy.payload.AppendRaw(pkt.payload.size()),
                 pkt.payload.data(), pkt.payload.size());
   }
+  // The scatter-gather continuation is immutable in flight, so the
+  // duplicate ref-shares it instead of copying payload bytes.
+  copy.frags = pkt.frags;
   return copy;
 }
 
@@ -154,7 +157,7 @@ sim::Task<> Fabric::EgressPump(NodeId port) {
     // the cable; the forwarding-pipeline latency and propagation delay
     // are pipelined (they add delivery delay, not port occupancy).
     TimeNs serialize =
-        TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+        TransferNs(cfg_.WireBytes(pkt.payload_size()), cfg_.bytes_per_ns());
     uint64_t span = 0;
     if (sim_->tracer().enabled()) {
       // Switch egress lanes sit above the node lanes in the trace

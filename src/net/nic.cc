@@ -24,9 +24,9 @@ void Nic::Send(Packet pkt) {
   DMRPC_CHECK_LT(pkt.dst, fabric_->num_nodes());
   pkt.id = fabric_->NextPacketId();
   stats_.tx_packets++;
-  stats_.tx_bytes += pkt.payload.size();
+  stats_.tx_bytes += pkt.payload_size();
   m_tx_packets_->Inc();
-  m_tx_bytes_->Inc(pkt.payload.size());
+  m_tx_bytes_->Inc(pkt.payload_size());
   fabric_->Trace(TraceStage::kNicTx, pkt);
   tx_queue_.Push(std::move(pkt));
 }
@@ -53,9 +53,9 @@ void Nic::Deliver(Packet pkt) {
     return;
   }
   stats_.rx_packets++;
-  stats_.rx_bytes += pkt.payload.size();
+  stats_.rx_bytes += pkt.payload_size();
   m_rx_packets_->Inc();
-  m_rx_bytes_->Inc(pkt.payload.size());
+  m_rx_bytes_->Inc(pkt.payload_size());
   sim::Channel<Packet>** inbox = listeners_.Find(pkt.dst_port);
   if (inbox == nullptr) {
     stats_.rx_dropped_no_listener++;
@@ -71,13 +71,13 @@ sim::Task<> Nic::TxPump() {
     Packet pkt = co_await tx_queue_.Pop();
     // NIC processing + wire serialization at link rate.
     TimeNs serialize =
-        TransferNs(cfg_.WireBytes(pkt.payload.size()), cfg_.bytes_per_ns());
+        TransferNs(cfg_.WireBytes(pkt.payload_size()), cfg_.bytes_per_ns());
     uint64_t span = 0;
     if (sim_->tracer().enabled()) {
       span = sim_->tracer().BeginSpan(
           "net", "net.nic_tx", sim_->Now(), node_,
           "{\"pkt\":" + std::to_string(pkt.id) +
-              ",\"bytes\":" + std::to_string(pkt.payload.size()) + "}");
+              ",\"bytes\":" + std::to_string(pkt.payload_size()) + "}");
     }
     co_await sim::Delay(cfg_.nic_overhead_ns + serialize);
     sim_->tracer().EndSpan(span, sim_->Now());

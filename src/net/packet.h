@@ -2,6 +2,7 @@
 #define DMRPC_NET_PACKET_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/buffer_pool.h"
 
@@ -37,9 +38,23 @@ struct Packet {
   /// NetworkConfig::wire_header_bytes, and real corrupted frames never
   /// reach software either.
   bool fcs_bad = false;
+  /// Head buffer: always holds at least the protocol header for packets
+  /// built by the RPC layer; packets built elsewhere (tests, tools) may
+  /// carry their whole frame here contiguously.
   sim::PooledBuf payload;
+  /// Scatter-gather continuation of the frame after `payload`: payload
+  /// bytes carried as refcounted sub-slices of the sender's message
+  /// chain. Empty (no allocation) for control packets and contiguous
+  /// frames. Wire accounting (NIC serialization, metrics, traces) uses
+  /// payload_size(), which spans both parts -- the simulated wire image
+  /// is the concatenation, byte-identical to a contiguous frame.
+  std::vector<sim::BufSlice> frags;
 
-  size_t payload_size() const { return payload.size(); }
+  size_t payload_size() const {
+    size_t n = payload.size();
+    for (const sim::BufSlice& f : frags) n += f.size();
+    return n;
+  }
 };
 
 }  // namespace dmrpc::net

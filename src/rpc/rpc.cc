@@ -58,24 +58,56 @@ void Rpc::RegisterHandler(ReqType req_type, Handler handler) {
 }
 
 void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
-                     const PacketHeader& hdr, const uint8_t* frag,
-                     size_t frag_len) {
+                     const PacketHeader& hdr) {
   net::Packet pkt;
   pkt.src = node_;
   pkt.src_port = port_;
   pkt.dst = dst;
   pkt.dst_port = dst_port;
-  pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes + frag_len);
+  pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes);
   hdr.EncodeTo(pkt.payload.AppendRaw(PacketHeader::kWireBytes));
-  if (frag_len > 0) {
-    std::memcpy(pkt.payload.AppendRaw(frag_len), frag, frag_len);
-  }
   stats_.tx_packets++;
   m_tx_packets_->Inc();
   if (meter_ != nullptr) {
-    meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
+    meter_->Charge(mem::MemKind::kLocalDram, pkt.payload_size());
   }
   fabric_->nic(node_)->Send(std::move(pkt));
+}
+
+void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
+                     const PacketHeader& hdr, const MsgBuffer& msg, size_t off,
+                     size_t len, MsgBuffer::SliceCursor* cur) {
+  net::Packet pkt;
+  pkt.src = node_;
+  pkt.src_port = port_;
+  pkt.dst = dst;
+  pkt.dst_port = dst_port;
+  pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes);
+  hdr.EncodeTo(pkt.payload.AppendRaw(PacketHeader::kWireBytes));
+  if (len > 0) msg.CollectSlices(cur, off, len, &pkt.frags);
+  stats_.tx_packets++;
+  m_tx_packets_->Inc();
+  if (meter_ != nullptr) {
+    // The NIC still DMAs every payload byte over the memory bus; slicing
+    // saves CPU copies, not wire or DMA bytes.
+    meter_->Charge(mem::MemKind::kLocalDram, pkt.payload_size());
+  }
+  fabric_->nic(node_)->Send(std::move(pkt));
+}
+
+/// Slices covering a received packet's payload after the protocol
+/// header: packets built by SendPacket carry them in pkt.frags (the head
+/// buffer is header-only); packets built contiguously (tests, tools)
+/// yield one sub-slice of the head buffer, so reassembly is copy-free
+/// either way.
+static void AppendFragmentSlices(const net::Packet& pkt,
+                                 std::vector<sim::BufSlice>* out) {
+  if (pkt.payload.size() > PacketHeader::kWireBytes) {
+    out->push_back(
+        sim::BufSlice::Of(pkt.payload, PacketHeader::kWireBytes,
+                          pkt.payload.size() - PacketHeader::kWireBytes));
+  }
+  for (const sim::BufSlice& s : pkt.frags) out->push_back(s);
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +135,7 @@ sim::Task<StatusOr<SessionId>> Rpc::Connect(net::NodeId remote,
   hdr.msg_type = MsgType::kConnect;
   hdr.session_id = id;  // sender-side id; establishes the mapping
   s->last_connect_tx = sim_->Now();
-  SendPacket(remote, remote_port, hdr, nullptr, 0);
+  SendPacket(remote, remote_port, hdr);
 
   Status st = co_await s->connect_done->Wait();
   if (!st.ok()) co_return st;
@@ -130,7 +162,7 @@ void Rpc::OnConnect(const net::Packet& pkt, const PacketHeader& hdr) {
   ack.msg_type = MsgType::kConnectAck;
   ack.session_id = hdr.session_id;  // client-side id
   ack.req_id = index;               // carries the server-side id
-  SendPacket(pkt.src, pkt.src_port, ack, nullptr, 0);
+  SendPacket(pkt.src, pkt.src_port, ack);
 }
 
 void Rpc::OnConnectAck(const PacketHeader& hdr) {
@@ -167,7 +199,7 @@ sim::Task<Status> Rpc::Disconnect(SessionId session) {
   hdr.msg_type = MsgType::kDisconnect;
   hdr.session_id = sess.remote_session_id;
   sess.last_connect_tx = sim_->Now();
-  SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+  SendPacket(sess.remote, sess.remote_port, hdr);
   Status st = co_await sess.disconnect_done->Wait();
   co_return st;
 }
@@ -191,7 +223,7 @@ void Rpc::OnDisconnect(const net::Packet& pkt, const PacketHeader& hdr) {
   PacketHeader ack;
   ack.msg_type = MsgType::kDisconnectAck;
   ack.session_id = client_id;
-  SendPacket(remote, remote_port, ack, nullptr, 0);
+  SendPacket(remote, remote_port, ack);
 }
 
 void Rpc::OnDisconnectAck(const PacketHeader& hdr) {
@@ -265,10 +297,7 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   slot.credits_returned = 0;
   slot.retries = 0;
   slot.cur_rto_ns = cfg_.rto_ns;
-  slot.resp_data.clear();
-  slot.resp_seen.clear();
-  slot.resp_pkts = 0;
-  slot.resp_total = 0;
+  slot.resp.Clear();
   slot.done = std::make_unique<sim::Completion<Status>>();
 
   ++pending_ops_;
@@ -278,8 +307,9 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   co_await SendRequestPackets(session, slot_idx, /*is_retransmit=*/false);
 
   Status st = co_await slot.done->Wait();
-  MsgBuffer response(std::move(slot.resp_data));
-  slot.resp_data.clear();
+  // The response *is* the received fragment slices, linked in order --
+  // the handler-visible cursor reads across the slice boundaries.
+  MsgBuffer response = slot.resp.TakeMessage();
   slot.request.Clear();
   slot.busy = false;
   sess.slot_sem->Release();
@@ -298,6 +328,7 @@ sim::Task<> Rpc::SendRequestPackets(SessionId session_id, int slot_idx,
   const size_t total_bytes = slot.request.size();
   const uint16_t num_pkts = static_cast<uint16_t>(
       std::max<size_t>(1, (total_bytes + chunk - 1) / chunk));
+  MsgBuffer::SliceCursor cur;
 
   for (uint16_t i = 0; i < num_pkts; ++i) {
     if (!is_retransmit) {
@@ -334,13 +365,12 @@ sim::Task<> Rpc::SendRequestPackets(SessionId session_id, int slot_idx,
     size_t len = std::min(chunk, total_bytes - off);
     if (total_bytes == 0) len = 0;
     slot.last_tx = sim_->Now();
-    SendPacket(sess.remote, sess.remote_port, hdr,
-               slot.request.data() + off, len);
+    SendPacket(sess.remote, sess.remote_port, hdr, slot.request, off, len,
+               &cur);
   }
 }
 
-void Rpc::OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
-                           size_t frag_len) {
+void Rpc::OnResponsePacket(const net::Packet& pkt, const PacketHeader& hdr) {
   if (hdr.session_id >= client_sessions_.size()) {
     stats_.stale_packets++;
     return;
@@ -358,31 +388,30 @@ void Rpc::OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
     stats_.stale_packets++;
     return;
   }
-  if (slot.resp_total > 0 && slot.resp_pkts == slot.resp_total) {
+  if (slot.resp.total > 0 && slot.resp.pkts == slot.resp.total) {
     stats_.stale_packets++;  // duplicate after completion
     return;
   }
-  if (slot.resp_total == 0) {
+  if (slot.resp.total == 0) {
     // First response packet: the final request packet is now implicitly
     // acknowledged, returning one credit.
-    slot.resp_total = hdr.num_pkts;
-    slot.resp_data.assign(hdr.msg_size, 0);
-    slot.resp_seen.assign(hdr.num_pkts, false);
+    slot.resp.Start(hdr);
     if (slot.credits_returned < slot.credits_consumed) {
       slot.credits_returned++;
       sess.credits->Release();
     }
   }
-  if (hdr.pkt_idx >= slot.resp_total || slot.resp_seen[hdr.pkt_idx]) {
+  if (hdr.pkt_idx >= slot.resp.total || slot.resp.seen[hdr.pkt_idx]) {
     stats_.stale_packets++;
     return;
   }
   size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
-  DMRPC_CHECK_LE(off + frag_len, slot.resp_data.size());
-  std::copy(frag, frag + frag_len, slot.resp_data.begin() + off);
-  slot.resp_seen[hdr.pkt_idx] = true;
-  slot.resp_pkts++;
-  if (slot.resp_pkts == slot.resp_total) {
+  size_t frag_len = pkt.payload_size() - PacketHeader::kWireBytes;
+  DMRPC_CHECK_LE(off + frag_len, slot.resp.msg_size);
+  AppendFragmentSlices(pkt, &slot.resp.frags[hdr.pkt_idx]);
+  slot.resp.seen[hdr.pkt_idx] = true;
+  slot.resp.pkts++;
+  if (slot.resp.pkts == slot.resp.total) {
     stats_.responses_received++;
     m_responses_->Inc();
     FinishSlot(sess, slot, Status::OK());
@@ -526,7 +555,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         hdr.msg_type = MsgType::kConnect;
         hdr.session_id = static_cast<uint16_t>(si);
         sess.last_connect_tx = now;
-        SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+        SendPacket(sess.remote, sess.remote_port, hdr);
         continue;
       }
       // Pending teardown.
@@ -551,7 +580,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         hdr.session_id = sess.remote_session_id;
         hdr.req_id = si;  // lets the server ack even if it lost state
         sess.last_connect_tx = now;
-        SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+        SendPacket(sess.remote, sess.remote_port, hdr);
         continue;
       }
       if (!sess.connected) continue;
@@ -598,7 +627,7 @@ void Rpc::SendCreditReturn(const ServerSession& sess, uint64_t req_id,
   hdr.session_id = sess.client_session_id;
   hdr.req_id = req_id;
   hdr.pkt_idx = pkt_idx;
-  SendPacket(sess.remote, sess.remote_port, hdr, nullptr, 0);
+  SendPacket(sess.remote, sess.remote_port, hdr);
 }
 
 void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
@@ -616,6 +645,10 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
     stats_.stale_packets++;
     return;
   }
+  if (hdr.pkt_idx >= hdr.num_pkts) {
+    stats_.stale_packets++;  // malformed fragment index
+    return;
+  }
   const bool is_final_pkt = (hdr.pkt_idx + 1 == hdr.num_pkts);
   if (hdr.req_id == slot.cur_req_id && slot.cur_req_id != 0) {
     // Duplicate traffic for the current request.
@@ -627,7 +660,7 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
       return;
     }
     if (slot.in_progress && is_final_pkt &&
-        (hdr.pkt_idx >= slot.req_total || slot.req_seen[hdr.pkt_idx])) {
+        (hdr.pkt_idx >= slot.req.total || slot.req.seen[hdr.pkt_idx])) {
       // Retransmitted request while the handler is still running: tell
       // the client we are alive so it keeps waiting instead of failing
       // after max_retries (long-running handlers are legitimate).
@@ -635,22 +668,18 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
       SendCreditReturn(sess, hdr.req_id, kProgressAckIdx);
       return;
     }
-    if (slot.in_progress && hdr.pkt_idx < slot.req_total &&
-        !slot.req_seen[hdr.pkt_idx]) {
+    if (slot.in_progress && hdr.pkt_idx < slot.req.total &&
+        !slot.req.seen[hdr.pkt_idx]) {
       // A fragment we genuinely had not received (retransmit after loss).
       size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
-      size_t len = pkt.payload.size() - PacketHeader::kWireBytes;
-      std::copy(pkt.payload.begin() + PacketHeader::kWireBytes,
-                pkt.payload.end(), slot.req_data.begin() + off);
-      slot.req_seen[hdr.pkt_idx] = true;
-      slot.req_pkts++;
-      (void)off;
-      (void)len;
-      if (slot.req_pkts == slot.req_total) {
-        MsgBuffer req(std::move(slot.req_data));
-        slot.req_data.clear();
+      size_t frag_len = pkt.payload_size() - PacketHeader::kWireBytes;
+      DMRPC_CHECK_LE(off + frag_len, slot.req.msg_size);
+      AppendFragmentSlices(pkt, &slot.req.frags[hdr.pkt_idx]);
+      slot.req.seen[hdr.pkt_idx] = true;
+      slot.req.pkts++;
+      if (slot.req.complete()) {
         sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
-                               slot.req_type, std::move(req)));
+                               slot.req_type, slot.req.TakeMessage()));
       }
     }
     return;
@@ -662,24 +691,18 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
   slot.have_response = false;
   slot.cached_response.Clear();
   slot.req_type = hdr.req_type;
-  slot.req_data.assign(hdr.msg_size, 0);
-  slot.req_seen.assign(hdr.num_pkts, false);
-  slot.req_pkts = 0;
-  slot.req_total = hdr.num_pkts;
+  slot.req.Start(hdr);
 
   size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
-  size_t frag_len = pkt.payload.size() - PacketHeader::kWireBytes;
-  DMRPC_CHECK_LE(off + frag_len, slot.req_data.size());
-  std::copy(pkt.payload.begin() + PacketHeader::kWireBytes,
-            pkt.payload.end(), slot.req_data.begin() + off);
-  slot.req_seen[hdr.pkt_idx] = true;
-  slot.req_pkts++;
+  size_t frag_len = pkt.payload_size() - PacketHeader::kWireBytes;
+  DMRPC_CHECK_LE(off + frag_len, slot.req.msg_size);
+  AppendFragmentSlices(pkt, &slot.req.frags[hdr.pkt_idx]);
+  slot.req.seen[hdr.pkt_idx] = true;
+  slot.req.pkts++;
   if (!is_final_pkt) SendCreditReturn(sess, hdr.req_id, hdr.pkt_idx);
-  if (slot.req_pkts == slot.req_total) {
-    MsgBuffer req(std::move(slot.req_data));
-    slot.req_data.clear();
+  if (slot.req.complete()) {
     sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
-                           slot.req_type, std::move(req)));
+                           slot.req_type, slot.req.TakeMessage()));
   }
 }
 
@@ -722,6 +745,10 @@ sim::Task<> Rpc::RunHandler(uint16_t server_session_id, int slot_idx,
 sim::Task<> Rpc::SendResponse(uint16_t server_session_id, int slot_idx,
                               uint64_t req_id, ReqType req_type) {
   const size_t chunk = max_data_per_packet();
+  // One resumable cursor across all fragments: the response chain is
+  // immutable while cur_req_id/have_response stay valid (re-checked after
+  // every suspension), so fragmentation walks the slice list once total.
+  MsgBuffer::SliceCursor cur;
   for (uint16_t i = 0;; ++i) {
     if (server_sessions_[server_session_id] == nullptr) co_return;
     ServerSession& sess = *server_sessions_[server_session_id];
@@ -749,8 +776,8 @@ sim::Task<> Rpc::SendResponse(uint16_t server_session_id, int slot_idx,
     hdr.msg_size = static_cast<uint32_t>(total);
     size_t off = static_cast<size_t>(i) * chunk;
     size_t len = total == 0 ? 0 : std::min(chunk, total - off);
-    SendPacket(sess2.remote, sess2.remote_port, hdr,
-               slot2.cached_response.data() + off, len);
+    SendPacket(sess2.remote, sess2.remote_port, hdr, slot2.cached_response,
+               off, len, &cur);
   }
 }
 
@@ -764,7 +791,7 @@ sim::Task<> Rpc::Dispatch() {
     stats_.rx_packets++;
     m_rx_packets_->Inc();
     if (meter_ != nullptr) {
-      meter_->Charge(mem::MemKind::kLocalDram, pkt.payload.size());
+      meter_->Charge(mem::MemKind::kLocalDram, pkt.payload_size());
     }
     co_await sim::Delay(cfg_.rx_sw_ns);
     HandlePacket(std::move(pkt));
@@ -788,8 +815,7 @@ void Rpc::HandlePacket(net::Packet pkt) {
       OnRequestPacket(pkt, hdr);
       break;
     case MsgType::kResponse:
-      OnResponsePacket(hdr, pkt.payload.data() + PacketHeader::kWireBytes,
-                       pkt.payload.size() - PacketHeader::kWireBytes);
+      OnResponsePacket(pkt, hdr);
       break;
     case MsgType::kCreditReturn:
       OnCreditReturn(hdr);

@@ -150,6 +150,46 @@ class Rpc {
   void set_memory_meter(mem::BandwidthMeter* meter) { meter_ = meter; }
 
  private:
+  /// Per-slot scatter-gather reassembly: each arriving fragment parks
+  /// its payload slices (refcounted references into the packet's frame,
+  /// which for locally-routed RPC is the sender's message chain) in
+  /// fragment order; completion links them into the delivered MsgBuffer
+  /// without ever coalescing into a contiguous buffer.
+  struct Reassembly {
+    std::vector<std::vector<sim::BufSlice>> frags;  // per-fragment slices
+    std::vector<bool> seen;
+    uint16_t pkts = 0;
+    uint16_t total = 0;
+    uint32_t msg_size = 0;
+
+    void Clear() {
+      frags.clear();
+      seen.clear();
+      pkts = 0;
+      total = 0;
+      msg_size = 0;
+    }
+    /// Arms reassembly from the first fragment's header.
+    void Start(const PacketHeader& hdr) {
+      total = hdr.num_pkts;
+      msg_size = hdr.msg_size;
+      frags.assign(total, {});
+      seen.assign(total, false);
+      pkts = 0;
+    }
+    bool complete() const { return total > 0 && pkts == total; }
+    /// Links the parked fragments, in order, into one message chain and
+    /// resets this reassembly.
+    MsgBuffer TakeMessage() {
+      MsgBuffer msg;
+      for (std::vector<sim::BufSlice>& frag : frags) {
+        for (sim::BufSlice& s : frag) msg.AppendSlice(std::move(s));
+      }
+      Clear();
+      return msg;
+    }
+  };
+
   struct ClientSlot {
     bool busy = false;
     uint64_t seq = 0;  // per-slot sequence; req_id = seq*slots + idx
@@ -163,11 +203,7 @@ class Rpc {
     /// Effective RTO for this request; doubles on each retransmission up
     /// to rto_max_ns, resets on a server progress ack.
     TimeNs cur_rto_ns = 0;
-    // Response reassembly.
-    std::vector<uint8_t> resp_data;
-    std::vector<bool> resp_seen;
-    uint16_t resp_pkts = 0;
-    uint16_t resp_total = 0;
+    Reassembly resp;
     std::unique_ptr<sim::Completion<Status>> done;
   };
 
@@ -196,11 +232,7 @@ class Rpc {
     bool have_response = false;
     ReqType req_type = 0;
     MsgBuffer cached_response;
-    // Request reassembly.
-    std::vector<uint8_t> req_data;
-    std::vector<bool> req_seen;
-    uint16_t req_pkts = 0;
-    uint16_t req_total = 0;
+    Reassembly req;
   };
 
   struct ServerSession {
@@ -216,8 +248,7 @@ class Rpc {
   void OnConnect(const net::Packet& pkt, const PacketHeader& hdr);
   void OnConnectAck(const PacketHeader& hdr);
   void OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr);
-  void OnResponsePacket(const PacketHeader& hdr, const uint8_t* frag,
-                        size_t frag_len);
+  void OnResponsePacket(const net::Packet& pkt, const PacketHeader& hdr);
   void OnCreditReturn(const PacketHeader& hdr);
   void OnDisconnect(const net::Packet& pkt, const PacketHeader& hdr);
   void OnDisconnectAck(const PacketHeader& hdr);
@@ -239,9 +270,16 @@ class Rpc {
   /// Next effective RTO after a retransmission (exponential, capped).
   TimeNs NextRto(TimeNs cur) const;
 
-  void SendPacket(net::NodeId dst, net::Port dst_port,
-                  const PacketHeader& hdr, const uint8_t* frag,
-                  size_t frag_len);
+  /// Sends a control packet (header only, no payload).
+  void SendPacket(net::NodeId dst, net::Port dst_port, const PacketHeader& hdr);
+  /// Sends one message fragment: the header is encoded into a small
+  /// pooled head buffer and bytes [off, off+len) of `msg` ride along as
+  /// sub-slice references of the message chain -- no payload bytes are
+  /// copied. `cur` is the caller's resumable position in the chain (the
+  /// fragment loops walk the message in ascending order).
+  void SendPacket(net::NodeId dst, net::Port dst_port, const PacketHeader& hdr,
+                  const MsgBuffer& msg, size_t off, size_t len,
+                  MsgBuffer::SliceCursor* cur);
 
   sim::Simulation* sim_;
   net::Fabric* fabric_;

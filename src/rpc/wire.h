@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/buffer_pool.h"
 
 namespace dmrpc::rpc {
 
@@ -36,7 +37,6 @@ struct PacketHeader {
   uint64_t req_id = 0;       // per-session monotonically increasing
   uint32_t msg_size = 0;     // total message payload bytes
 
-  void EncodeTo(std::vector<uint8_t>* out) const;
   /// Writes exactly kWireBytes into `out` (hot path: the RPC layer
   /// encodes straight into a pooled packet buffer, no vector involved).
   void EncodeTo(uint8_t* out) const;
@@ -44,32 +44,60 @@ struct PacketHeader {
   bool DecodeFrom(const uint8_t* data, size_t len);
 };
 
-/// An RPC message payload: a contiguous, owned byte buffer with
-/// append/read helpers for fixed-width little-endian primitives. This is
-/// what request arguments and response values are serialized into, so
-/// every pass-by-value byte is physically present in the buffer.
+/// Accounts `n` payload bytes memcpy'd on the message path (chain
+/// materialization, coalescing fallbacks) to the lazily registered
+/// `rpc.bytes_copied` counter of the current simulation, if any. The
+/// initial producer write into a chain and the consumer handoff out of
+/// one (ReadBytes into user memory / page frames -- the NIC-DMA
+/// boundary) are deliberately *not* accounted: those are the two copies
+/// a real zero-copy stack also performs. A steady-state zero-copy RPC
+/// path therefore keeps this counter at 0.
+void AccountPayloadCopy(size_t n);
+
+/// An RPC message payload: a scatter-gather chain of refcounted
+/// BufferPool slices with append/read helpers for fixed-width
+/// little-endian primitives. This is what request arguments and response
+/// values are serialized into, so every pass-by-value byte is physically
+/// present in some slab -- but never contiguously by requirement.
+///
+/// Appends write into the open tail slab and link a fresh slab when it
+/// fills (no realloc+memcpy growth); reads advance a cursor that walks
+/// across slice boundaries without coalescing. Whole ranges of another
+/// chain can be appended by reference (AppendRangeOf / AppendSlice), and
+/// a prefix of the unread remainder can be split off by reference
+/// (ReadChain) -- both are O(slices), moving no payload bytes. This is
+/// what makes RPC fragmentation and reassembly copy-free: packets carry
+/// sub-slices of the message chain, and the reassembled message *is* the
+/// received slices, chained.
+///
+/// Copying a MsgBuffer shares its slices (cheap). Shared slabs are
+/// immutable through this API: a shared tail reports no spare capacity,
+/// so appends to either copy land in fresh slabs, and OverwriteAt checks
+/// exclusive ownership.
 class MsgBuffer {
  public:
   MsgBuffer() = default;
-  explicit MsgBuffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  /// A chain holding a copy of `bytes` (the producer write).
+  explicit MsgBuffer(const std::vector<uint8_t>& bytes) {
+    AppendBytes(bytes.data(), bytes.size());
+  }
   /// A zero-filled buffer of the given size.
-  explicit MsgBuffer(size_t size) : bytes_(size, 0) {}
+  explicit MsgBuffer(size_t size);
 
   MsgBuffer(const MsgBuffer&) = default;
   MsgBuffer& operator=(const MsgBuffer&) = default;
   MsgBuffer(MsgBuffer&&) = default;
   MsgBuffer& operator=(MsgBuffer&&) = default;
 
-  size_t size() const { return bytes_.size(); }
-  bool empty() const { return bytes_.empty(); }
-  const uint8_t* data() const { return bytes_.data(); }
-  uint8_t* data() { return bytes_.data(); }
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
-  std::vector<uint8_t>&& TakeBytes() && { return std::move(bytes_); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   void Clear() {
-    bytes_.clear();
+    segs_.clear();
+    size_ = 0;
     read_pos_ = 0;
+    cur_seg_ = 0;
+    cur_off_ = 0;
   }
 
   // -- Append API (serialization) --
@@ -77,39 +105,61 @@ class MsgBuffer {
   template <typename T>
   void Append(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    size_t old = bytes_.size();
-    bytes_.resize(old + sizeof(T));
-    std::memcpy(bytes_.data() + old, &value, sizeof(T));
+    if (!segs_.empty() && segs_.back().spare_capacity() >= sizeof(T)) {
+      std::memcpy(segs_.back().ExtendTail(sizeof(T)), &value, sizeof(T));
+      size_ += sizeof(T);
+    } else {
+      AppendBytes(&value, sizeof(T));
+    }
   }
 
-  void AppendBytes(const void* src, size_t len) {
-    size_t old = bytes_.size();
-    bytes_.resize(old + len);
-    if (len > 0) std::memcpy(bytes_.data() + old, src, len);
-  }
+  void AppendBytes(const void* src, size_t len);
 
   void AppendString(const std::string& s) {
     Append<uint32_t>(static_cast<uint32_t>(s.size()));
     AppendBytes(s.data(), s.size());
   }
 
+  /// Appends `len` uninitialized bytes guaranteed to live in a single
+  /// slice (a fresh slab) and returns the write pointer. This is the
+  /// bulk producer-write primitive: a page read from a frame lands in
+  /// exactly one pooled slab, which then travels to the consumer by
+  /// reference.
+  uint8_t* AppendContiguous(size_t len);
+
+  /// Appends a slice by reference (no bytes move).
+  void AppendSlice(sim::BufSlice slice) {
+    if (slice.empty()) return;
+    size_ += slice.size();
+    segs_.push_back(std::move(slice));
+  }
+
+  /// Appends bytes [pos, pos+len) of `src` by slice reference (no bytes
+  /// move; the chains share slabs afterwards). `src` must be a different
+  /// buffer.
+  void AppendRangeOf(const MsgBuffer& src, size_t pos, size_t len);
+
   // -- Read API (deserialization); reads advance a cursor --
 
   template <typename T>
   T Read() {
     static_assert(std::is_trivially_copyable_v<T>);
-    DMRPC_CHECK_LE(read_pos_ + sizeof(T), bytes_.size())
-        << "MsgBuffer underflow";
+    DMRPC_CHECK_LE(read_pos_ + sizeof(T), size_) << "MsgBuffer underflow";
     T value;
-    std::memcpy(&value, bytes_.data() + read_pos_, sizeof(T));
-    read_pos_ += sizeof(T);
+    const sim::BufSlice& seg = NormalizedSeg();
+    if (seg.size() - cur_off_ >= sizeof(T)) {
+      std::memcpy(&value, seg.data() + cur_off_, sizeof(T));
+      cur_off_ += sizeof(T);
+      read_pos_ += sizeof(T);
+    } else {
+      ReadRaw(&value, sizeof(T));
+    }
     return value;
   }
 
   void ReadBytes(void* dst, size_t len) {
-    DMRPC_CHECK_LE(read_pos_ + len, bytes_.size()) << "MsgBuffer underflow";
-    if (len > 0) std::memcpy(dst, bytes_.data() + read_pos_, len);
-    read_pos_ += len;
+    DMRPC_CHECK_LE(read_pos_ + len, size_) << "MsgBuffer underflow";
+    ReadRaw(dst, len);
   }
 
   std::string ReadString() {
@@ -119,17 +169,68 @@ class MsgBuffer {
     return s;
   }
 
+  /// Splits off the next `len` unread bytes as a chain sharing this
+  /// buffer's slices (no bytes move) and advances the cursor past them.
+  MsgBuffer ReadChain(size_t len);
+
   /// Bytes left to read.
-  size_t remaining() const { return bytes_.size() - read_pos_; }
+  size_t remaining() const { return size_ - read_pos_; }
   size_t read_pos() const { return read_pos_; }
-  void SeekTo(size_t pos) {
-    DMRPC_CHECK_LE(pos, bytes_.size());
-    read_pos_ = pos;
-  }
+  void SeekTo(size_t pos);
+
+  // -- Whole-chain helpers --
+
+  /// Patches previously appended bytes in place. Every touched slab must
+  /// be exclusively owned by this chain (checked): patching shared bytes
+  /// would be visible through other chains.
+  void OverwriteAt(size_t pos, const void* src, size_t len);
+
+  /// Materializes the chain into one contiguous vector. This is the
+  /// copy the scatter-gather path exists to avoid, so it is accounted
+  /// to `rpc.bytes_copied` (see AccountPayloadCopy).
+  std::vector<uint8_t> CopyBytes() const;
+
+  /// The slice chain (RPC fragmentation walks this).
+  const std::vector<sim::BufSlice>& segments() const { return segs_; }
+
+  /// Resumable position for CollectSlices: callers walking a message in
+  /// ascending byte order (the fragmentation loops) keep one of these so
+  /// slicing N fragments is O(slices), not O(N * slices).
+  struct SliceCursor {
+    size_t seg = 0;        // index into segments()
+    size_t seg_start = 0;  // absolute byte offset where that segment begins
+  };
+
+  /// Appends slices covering bytes [pos, pos+len) to `out` (shared
+  /// references, no bytes move). Resumes from `cur`, rewinding it first
+  /// if `pos` moved backwards (retransmits restart at 0).
+  void CollectSlices(SliceCursor* cur, size_t pos, size_t len,
+                     std::vector<sim::BufSlice>* out) const;
 
  private:
-  std::vector<uint8_t> bytes_;
+  /// The segment under the read cursor, with cur_off_ < its size.
+  /// Requires unread bytes to exist.
+  const sim::BufSlice& NormalizedSeg() {
+    while (cur_off_ >= segs_[cur_seg_].size()) {
+      cur_off_ -= segs_[cur_seg_].size();
+      ++cur_seg_;
+    }
+    return segs_[cur_seg_];
+  }
+
+  void ReadRaw(void* dst, size_t len);
+
+  /// The open tail slice, linking a fresh slab (sized for `len_hint`
+  /// more bytes) if the current tail is full, shared, or absent.
+  sim::BufSlice* WritableTail(size_t len_hint);
+
+  std::vector<sim::BufSlice> segs_;
+  size_t size_ = 0;
   size_t read_pos_ = 0;
+  // Read-cursor position: read_pos_ falls inside segs_[cur_seg_] at
+  // in-segment offset cur_off_ (lazily normalized; see NormalizedSeg).
+  size_t cur_seg_ = 0;
+  size_t cur_off_ = 0;
 };
 
 }  // namespace dmrpc::rpc

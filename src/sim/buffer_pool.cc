@@ -85,6 +85,16 @@ PooledBuf PooledBuf::Copy(const void* src, size_t len) {
 }
 
 // ---------------------------------------------------------------------------
+// BufSlice
+// ---------------------------------------------------------------------------
+
+BufSlice BufSlice::NewWritable(size_t capacity, BufferPool* pool) {
+  internal::BufSlab* slab =
+      pool != nullptr ? pool->AcquireSlab(capacity) : internal::NewSlab(capacity);
+  return BufSlice(slab, 0, 0);
+}
+
+// ---------------------------------------------------------------------------
 // BufferPool
 // ---------------------------------------------------------------------------
 
@@ -112,11 +122,15 @@ int BufferPool::ClassForCapacity(size_t capacity) {
 }
 
 PooledBuf BufferPool::Acquire(size_t capacity) {
+  return PooledBuf(AcquireSlab(capacity));
+}
+
+internal::BufSlab* BufferPool::AcquireSlab(size_t capacity) {
   if (capacity > kMaxSlabBytes) {
     // Off the packet hot path (fragmentation caps packets at the MTU):
     // serve a plain unpooled slab.
     stats_.oversized++;
-    return PooledBuf(internal::NewSlab(capacity));
+    return internal::NewSlab(capacity);
   }
   stats_.acquires++;
   stats_.outstanding++;
@@ -135,7 +149,7 @@ PooledBuf BufferPool::Acquire(size_t capacity) {
     slab->pool = this;
     slab->size_class = static_cast<uint32_t>(cls);
   }
-  return PooledBuf(slab);
+  return slab;
 }
 
 void BufferPool::Return(internal::BufSlab* slab) {

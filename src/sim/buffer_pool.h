@@ -139,6 +139,7 @@ class PooledBuf {
 
  private:
   friend class BufferPool;
+  friend class BufSlice;
   explicit PooledBuf(internal::BufSlab* slab) : slab_(slab) {}
 
   void Assign(std::initializer_list<uint8_t> bytes) {
@@ -153,6 +154,126 @@ class PooledBuf {
   void Reallocate(size_t cap, size_t keep);
 
   internal::BufSlab* slab_ = nullptr;
+};
+
+/// A refcounted view of a byte range inside a slab. Where PooledBuf owns
+/// a whole slab (packet head buffers), BufSlice shares an arbitrary
+/// sub-range of one: the scatter-gather message path (rpc::MsgBuffer
+/// segment chains, net::Packet::frags) moves these 16-byte views around
+/// instead of copying payload bytes, so slicing a message into MTU
+/// fragments and parking received fragments for reassembly are both
+/// O(1) per fragment. The slab is returned to its pool (or freed, when
+/// unpooled) when the last PooledBuf or BufSlice referencing it drops.
+///
+/// A slice whose range ends exactly at the slab's write frontier *and*
+/// that holds the only reference may be extended in place
+/// (spare_capacity / ExtendTail); any shared or interior slice reports
+/// zero spare capacity, so in-place growth can never scribble over bytes
+/// another handle can see.
+class BufSlice {
+ public:
+  BufSlice() = default;
+
+  BufSlice(const BufSlice& other)
+      : slab_(other.slab_), off_(other.off_), len_(other.len_) {
+    if (slab_ != nullptr) ++slab_->refcnt;
+  }
+  BufSlice& operator=(const BufSlice& other) {
+    if (this != &other) {
+      if (other.slab_ != nullptr) ++other.slab_->refcnt;
+      Release();
+      slab_ = other.slab_;
+      off_ = other.off_;
+      len_ = other.len_;
+    }
+    return *this;
+  }
+  BufSlice(BufSlice&& other) noexcept
+      : slab_(other.slab_), off_(other.off_), len_(other.len_) {
+    other.slab_ = nullptr;
+    other.off_ = other.len_ = 0;
+  }
+  BufSlice& operator=(BufSlice&& other) noexcept {
+    if (this != &other) {
+      Release();
+      slab_ = other.slab_;
+      off_ = other.off_;
+      len_ = other.len_;
+      other.slab_ = nullptr;
+      other.off_ = other.len_ = 0;
+    }
+    return *this;
+  }
+
+  ~BufSlice() { Release(); }
+
+  /// A view of bytes [off, off+len) of `buf` (shares a reference).
+  static BufSlice Of(const PooledBuf& buf, size_t off, size_t len) {
+    DMRPC_CHECK_LE(off + len, buf.size());
+    if (buf.slab_ != nullptr) ++buf.slab_->refcnt;
+    return BufSlice(buf.slab_, static_cast<uint32_t>(off),
+                    static_cast<uint32_t>(len));
+  }
+
+  /// A view of bytes [off, off+len) of this slice (offsets relative to
+  /// the slice, not the slab).
+  BufSlice Sub(size_t off, size_t len) const {
+    DMRPC_CHECK_LE(off + len, len_);
+    if (slab_ != nullptr) ++slab_->refcnt;
+    return BufSlice(slab_, off_ + static_cast<uint32_t>(off),
+                    static_cast<uint32_t>(len));
+  }
+
+  /// A fresh writable slab with `capacity` spare bytes and length 0,
+  /// leased from `pool` when non-null, plain heap otherwise (so message
+  /// buffers can be built outside a simulation, e.g. in tests).
+  static BufSlice NewWritable(size_t capacity, BufferPool* pool);
+
+  const uint8_t* data() const { return slab_->bytes() + off_; }
+  uint8_t* data() { return slab_->bytes() + off_; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  /// Number of handles (PooledBuf or BufSlice) sharing the slab.
+  uint32_t ref_count() const { return slab_ != nullptr ? slab_->refcnt : 0; }
+
+  /// Bytes that can still be appended in place: non-zero only when this
+  /// slice is the slab's sole owner and ends exactly at the slab's write
+  /// frontier.
+  size_t spare_capacity() const {
+    if (slab_ == nullptr || slab_->refcnt != 1) return 0;
+    if (off_ + len_ != slab_->len) return 0;
+    return slab_->capacity - slab_->len;
+  }
+
+  /// Extends the slice by `n` uninitialized bytes at the slab's write
+  /// frontier and returns a pointer to them. Requires
+  /// spare_capacity() >= n.
+  uint8_t* ExtendTail(size_t n) {
+    DMRPC_CHECK_LE(n, spare_capacity()) << "ExtendTail beyond spare capacity";
+    uint8_t* out = slab_->bytes() + slab_->len;
+    slab_->len += static_cast<uint32_t>(n);
+    len_ += static_cast<uint32_t>(n);
+    return out;
+  }
+
+  /// Drops this handle's reference; the slice becomes empty.
+  void Release() {
+    if (slab_ == nullptr) return;
+    internal::BufSlab* s = slab_;
+    slab_ = nullptr;
+    off_ = len_ = 0;
+    internal::ReleaseSlab(s);
+  }
+
+ private:
+  /// Adopts one already-counted reference.
+  BufSlice(internal::BufSlab* slab, uint32_t off, uint32_t len)
+      : slab_(slab), off_(off), len_(len) {}
+
+  internal::BufSlab* slab_ = nullptr;
+  uint32_t off_ = 0;
+  uint32_t len_ = 0;
 };
 
 /// A slab allocator with per-size-class freelists for packet payload
@@ -191,6 +312,12 @@ class BufferPool {
   /// length 0. Returned buffers come back to the freelist when the last
   /// PooledBuf handle drops.
   PooledBuf Acquire(size_t capacity);
+
+  /// Low-level counterpart of Acquire: leases a raw slab (refcount 1,
+  /// length 0) for callers that wrap it in their own handle type
+  /// (BufSlice::NewWritable). The slab comes back when the last
+  /// reference drops, exactly as with Acquire.
+  internal::BufSlab* AcquireSlab(size_t capacity);
 
   const Stats& stats() const { return stats_; }
 

@@ -30,7 +30,7 @@ TEST(PayloadTest, InlineRoundTrips) {
   p.EncodeTo(&buf);
   Payload out = Payload::DecodeFrom(&buf);
   EXPECT_FALSE(out.is_ref());
-  EXPECT_EQ(out.inline_bytes(), bytes);
+  EXPECT_EQ(out.inline_data().CopyBytes(), bytes);
 }
 
 TEST(PayloadTest, RefRoundTrips) {

@@ -33,11 +33,10 @@ class ProtocolTest : public ::testing::Test {
     client_ = std::make_unique<Rpc>(&fabric_, 0, 200);
     server_->RegisterHandler(
         1, [](ReqContext, MsgBuffer req) -> sim::Task<MsgBuffer> {
-          MsgBuffer resp(req.size());
-          for (size_t i = 0; i < req.size(); ++i) {
-            resp.data()[i] = req.data()[i] + 1;
-          }
-          co_return resp;
+          std::vector<uint8_t> bytes(req.size());
+          req.ReadBytes(bytes.data(), bytes.size());
+          for (uint8_t& b : bytes) b = static_cast<uint8_t>(b + 1);
+          co_return MsgBuffer(bytes);
         });
   }
 
@@ -50,15 +49,17 @@ class ProtocolTest : public ::testing::Test {
         out = sid.status();
         co_return;
       }
-      MsgBuffer req(bytes);
-      for (uint32_t i = 0; i < bytes; ++i) req.data()[i] = uint8_t(i);
+      std::vector<uint8_t> pattern(bytes);
+      for (uint32_t i = 0; i < bytes; ++i) pattern[i] = uint8_t(i);
+      MsgBuffer req(pattern);
       auto resp = co_await client_->Call(*sid, 1, std::move(req));
       if (!resp.ok()) {
         out = resp.status();
         co_return;
       }
+      std::vector<uint8_t> got = resp->CopyBytes();
       for (uint32_t i = 0; i < bytes; ++i) {
-        if (resp->data()[i] != uint8_t(uint8_t(i) + 1)) {
+        if (got[i] != uint8_t(uint8_t(i) + 1)) {
           out = Status::Internal("corrupted");
           co_return;
         }
@@ -228,7 +229,7 @@ TEST_F(ProtocolTest, TwoClientsDistinctSessions) {
     r2.Append<uint8_t>(2);
     auto a = co_await client_->Call(*s1, 1, std::move(r1));
     auto b = co_await client2.Call(*s2, 1, std::move(r2));
-    ok = a.ok() && b.ok() && a->data()[0] == 2 && b->data()[0] == 3;
+    ok = a.ok() && b.ok() && a->Read<uint8_t>() == 2 && b->Read<uint8_t>() == 3;
   };
   sim_.Spawn(driver());
   sim_.RunFor(5 * kSecond);

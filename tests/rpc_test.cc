@@ -24,12 +24,11 @@ TEST(PacketHeaderTest, RoundTrips) {
   hdr.num_pkts = 9;
   hdr.req_id = 0x123456789abcULL;
   hdr.msg_size = 65536;
-  std::vector<uint8_t> wire;
-  hdr.EncodeTo(&wire);
-  EXPECT_EQ(wire.size(), PacketHeader::kWireBytes);
+  uint8_t wire[PacketHeader::kWireBytes];
+  hdr.EncodeTo(wire);
 
   PacketHeader out;
-  ASSERT_TRUE(out.DecodeFrom(wire.data(), wire.size()));
+  ASSERT_TRUE(out.DecodeFrom(wire, sizeof(wire)));
   EXPECT_EQ(out.msg_type, MsgType::kResponse);
   EXPECT_EQ(out.req_type, 7);
   EXPECT_EQ(out.session_id, 300);
@@ -41,10 +40,10 @@ TEST(PacketHeaderTest, RoundTrips) {
 
 TEST(PacketHeaderTest, RejectsShortBuffer) {
   PacketHeader hdr;
-  std::vector<uint8_t> wire;
-  hdr.EncodeTo(&wire);
+  uint8_t wire[PacketHeader::kWireBytes];
+  hdr.EncodeTo(wire);
   PacketHeader out;
-  EXPECT_FALSE(out.DecodeFrom(wire.data(), 10));
+  EXPECT_FALSE(out.DecodeFrom(wire, 10));
 }
 
 TEST(PacketHeaderTest, RejectsBadMagic) {
@@ -98,11 +97,10 @@ class RpcTest : public ::testing::Test {
     server_.RegisterHandler(
         2, [](ReqContext, MsgBuffer req) -> sim::Task<MsgBuffer> {
           // Echo with each byte incremented; exercises fragmentation.
-          MsgBuffer resp(req.size());
-          for (size_t i = 0; i < req.size(); ++i) {
-            resp.data()[i] = req.data()[i] + 1;
-          }
-          co_return resp;
+          std::vector<uint8_t> bytes(req.size());
+          req.ReadBytes(bytes.data(), bytes.size());
+          for (uint8_t& b : bytes) b = static_cast<uint8_t>(b + 1);
+          co_return MsgBuffer(bytes);
         });
     server_.RegisterHandler(
         3, [](ReqContext, MsgBuffer req) -> sim::Task<MsgBuffer> {
@@ -158,15 +156,17 @@ TEST_F(RpcTest, EmptyMessageIsValid) {
 }
 
 TEST_F(RpcTest, LargeMessageFragmentsAndReassembles) {
-  MsgBuffer req(100000);
-  for (size_t i = 0; i < req.size(); ++i) {
-    req.data()[i] = static_cast<uint8_t>(i * 13);
+  std::vector<uint8_t> pattern(100000);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 13);
   }
+  MsgBuffer req(pattern);
   auto resp = Run(ConnectAndCall(2, req));
   ASSERT_TRUE(resp.ok());
   ASSERT_EQ(resp->size(), 100000u);
-  for (size_t i = 0; i < resp->size(); ++i) {
-    ASSERT_EQ(resp->data()[i], static_cast<uint8_t>(i * 13 + 1)) << i;
+  std::vector<uint8_t> got = resp->CopyBytes();
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], static_cast<uint8_t>(i * 13 + 1)) << i;
   }
   // 100000 / (4096-22) payload bytes -> 25 request packets.
   EXPECT_GT(client_.stats().tx_packets, 25u);
@@ -290,11 +290,10 @@ TEST_P(RpcLossTest, AllRequestsEventuallyComplete) {
   Rpc client(&fabric, 0, 200);
   server.RegisterHandler(
       1, [](ReqContext, MsgBuffer req) -> sim::Task<MsgBuffer> {
-        MsgBuffer resp(req.size());
-        for (size_t i = 0; i < req.size(); ++i) {
-          resp.data()[i] = req.data()[i] ^ 0xff;
-        }
-        co_return resp;
+        std::vector<uint8_t> bytes(req.size());
+        req.ReadBytes(bytes.data(), bytes.size());
+        for (uint8_t& b : bytes) b = static_cast<uint8_t>(b ^ 0xff);
+        co_return MsgBuffer(bytes);
       });
   int completed = 0;
   bool corrupted = false;
@@ -302,14 +301,16 @@ TEST_P(RpcLossTest, AllRequestsEventuallyComplete) {
     auto sid = co_await rpc->Connect(1, 100);
     if (!sid.ok()) co_return;
     for (int i = 0; i < param.requests; ++i) {
-      MsgBuffer req(param.msg_bytes);
-      for (size_t k = 0; k < req.size(); ++k) {
-        req.data()[k] = static_cast<uint8_t>(k + i);
+      std::vector<uint8_t> bytes(param.msg_bytes);
+      for (size_t k = 0; k < bytes.size(); ++k) {
+        bytes[k] = static_cast<uint8_t>(k + i);
       }
+      MsgBuffer req(bytes);
       auto resp = co_await rpc->Call(*sid, 1, req);
       if (!resp.ok()) continue;
-      for (size_t k = 0; k < resp->size(); ++k) {
-        if (resp->data()[k] != static_cast<uint8_t>((k + i) ^ 0xff)) {
+      std::vector<uint8_t> got = resp->CopyBytes();
+      for (size_t k = 0; k < got.size(); ++k) {
+        if (got[k] != static_cast<uint8_t>((k + i) ^ 0xff)) {
           corrupted = true;
         }
       }
