@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace_analysis.h"
 
 namespace dmrpc::bench {
 
@@ -117,7 +118,7 @@ std::vector<std::pair<std::string, std::string>>& PendingRuns() {
   return runs;
 }
 
-void WriteMetricsSidecar() {
+void WriteMetricsSidecar(bool announce) {
   auto& runs = PendingRuns();
   if (runs.empty()) return;
   std::string path;
@@ -137,26 +138,39 @@ void WriteMetricsSidecar() {
     out << "\"" << JsonEscape(runs[i].first) << "\":" << runs[i].second;
   }
   out << "}}\n";
-  std::printf("[obs] wrote %s (%zu runs)\n", path.c_str(), runs.size());
+  if (announce) {
+    std::printf("[obs] wrote %s (%zu runs)\n", path.c_str(), runs.size());
+  }
 }
+
+void AnnounceMetricsSidecar() { WriteMetricsSidecar(/*announce=*/true); }
 
 }  // namespace
 
 void BenchObs::Arm(sim::Simulation* sim) {
   if (std::getenv("DMRPC_TRACE_DIR") != nullptr) {
     sim->tracer().set_enabled(true);
+    // A bench run records a few records per request across every layer;
+    // the default limit sheds records on the bigger scenarios, which
+    // truncates span trees and fails trace_analyze --check. 8M records
+    // covers the largest fig* run at CI scale with headroom.
+    sim->tracer().set_limit(size_t{1} << 23);
   }
 }
 
 void BenchObs::Record(const std::string& label, sim::Simulation* sim) {
   auto& runs = PendingRuns();
-  if (runs.empty()) std::atexit(WriteMetricsSidecar);
+  if (runs.empty()) std::atexit(AnnounceMetricsSidecar);
   runs.emplace_back(label, sim->DumpMetricsJson());
+  // Rewritten after every run (not only at exit) so the runs recorded so
+  // far survive a later scenario aborting the process.
+  WriteMetricsSidecar(/*announce=*/false);
 
   const char* dir = std::getenv("DMRPC_TRACE_DIR");
   if (dir != nullptr && !sim->tracer().records().empty()) {
-    std::string path = std::string(dir) + "/" + BenchName() + "_" +
-                       SanitizeLabel(label) + ".trace.json";
+    std::string base =
+        std::string(dir) + "/" + BenchName() + "_" + SanitizeLabel(label);
+    std::string path = base + ".trace.json";
     std::ofstream out(path);
     if (out) {
       sim->tracer().WriteChromeTrace(out);
@@ -164,6 +178,26 @@ void BenchObs::Record(const std::string& label, sim::Simulation* sim) {
                   sim->tracer().records().size());
     } else {
       LOG_WARN << "cannot write trace " << path;
+    }
+    std::string jsonl_path = base + ".trace.jsonl";
+    std::ofstream jsonl(jsonl_path);
+    if (jsonl) {
+      sim->tracer().WriteJsonLines(jsonl);
+    } else {
+      LOG_WARN << "cannot write trace " << jsonl_path;
+    }
+    // Per-run latency-breakdown sidecar: span trees reconstructed from
+    // this run's records, critical paths attributed per layer and hop.
+    obs::TraceAnalysis analysis;
+    analysis.AddRecords(sim->tracer().records(), sim->tracer().dropped());
+    analysis.Build();
+    std::string report_path = base + ".breakdown.txt";
+    std::ofstream report(report_path);
+    if (report) {
+      report << analysis.TextReport();
+      std::printf("[obs] wrote %s\n", report_path.c_str());
+    } else {
+      LOG_WARN << "cannot write breakdown " << report_path;
     }
     sim->tracer().Clear();
   }

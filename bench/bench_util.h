@@ -60,10 +60,19 @@ std::string Summarize(const msvc::WorkloadResult& res);
 ///   <bench>.metrics.json        {"bench": "...", "runs": {label: {...}}}
 ///
 /// where <bench> is the executable name (override the full path with
-/// DMRPC_METRICS_PATH). Setting DMRPC_TRACE_DIR additionally enables the
-/// simulation's event tracer and writes one Chrome trace_event file per
-/// run to <DMRPC_TRACE_DIR>/<bench>_<label>.trace.json (load it in
-/// chrome://tracing or https://ui.perfetto.dev).
+/// DMRPC_METRICS_PATH). The file is rewritten after every Record() so
+/// already-recorded runs survive a later scenario aborting the process.
+///
+/// Setting DMRPC_TRACE_DIR additionally enables the simulation's event
+/// tracer and writes three sidecars per run under that directory:
+///
+///   <bench>_<label>.trace.json     Chrome trace_event file (load it in
+///                                  chrome://tracing or ui.perfetto.dev)
+///   <bench>_<label>.trace.jsonl    raw record dump, one JSON per line
+///                                  (input format of trace_analyze)
+///   <bench>_<label>.breakdown.txt  per-request critical-path latency
+///                                  breakdown by layer and by hop
+///                                  (obs::TraceAnalysis::TextReport)
 class BenchObs {
  public:
   /// Enables tracing on `sim` when DMRPC_TRACE_DIR is set.

@@ -1,0 +1,104 @@
+// Command-line front end of obs::TraceAnalysis.
+//
+// Usage: trace_analyze [--check] <trace.jsonl>...
+//
+// Reads one or more JSONL trace dumps (the .trace.jsonl sidecars written
+// by bench binaries under DMRPC_TRACE_DIR, or Tracer::WriteJsonLines
+// output) and prints the span-tree well-formedness summary plus the
+// critical-path latency breakdown for each file.
+//
+// With --check the tool exits nonzero unless every dump is structurally
+// sound: no dropped records, every begun span closed, every span's
+// parent present in the same trace, exactly one root per trace, child
+// intervals nested inside their parents, and every per-request breakdown
+// summing exactly to that request's end-to-end latency. CI runs this
+// over the fig05 traces on every push.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+
+namespace {
+
+int AnalyzeFile(const std::string& path, bool check) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_analyze: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  dmrpc::obs::TraceAnalysis analysis;
+  std::string error;
+  if (!analysis.ParseJsonLines(in, &error)) {
+    std::fprintf(stderr, "trace_analyze: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  analysis.Build();
+  std::printf("==== %s ====\n%s", path.c_str(),
+              analysis.TextReport().c_str());
+
+  int rc = 0;
+  if (check) {
+    dmrpc::obs::WellFormedness wf = analysis.Check();
+    if (!wf.ok()) {
+      std::fprintf(stderr, "trace_analyze: %s: span forest not well-formed\n",
+                   path.c_str());
+      rc = 1;
+    }
+    // The accounting invariant behind every number in the report: the
+    // per-layer critical-path times of a request partition its root
+    // span, so they must sum to the end-to-end latency exactly.
+    for (const dmrpc::obs::RequestBreakdown& bd : analysis.Breakdowns()) {
+      dmrpc::TimeNs sum = 0;
+      for (const auto& [cat, ns] : bd.by_layer) sum += ns;
+      dmrpc::TimeNs hop_sum = 0;
+      for (const auto& [track, ns] : bd.by_hop) hop_sum += ns;
+      if (sum != bd.latency || hop_sum != bd.latency) {
+        std::fprintf(stderr,
+                     "trace_analyze: %s: trace %llu breakdown sums "
+                     "(layer=%lld, hop=%lld) != latency %lld\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(bd.trace_id),
+                     static_cast<long long>(sum),
+                     static_cast<long long>(hop_sum),
+                     static_cast<long long>(bd.latency));
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: trace_analyze [--check] <trace.jsonl>...\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: trace_analyze [--check] <trace.jsonl>...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& f : files) {
+    int file_rc = AnalyzeFile(f, check);
+    if (file_rc > rc) rc = file_rc;
+  }
+  if (check && rc == 0) {
+    std::printf("trace_analyze: all %zu file(s) well-formed\n", files.size());
+  }
+  return rc;
+}

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/payload.h"
+#include "obs/trace.h"
 
 namespace dmrpc::apps {
 
@@ -98,6 +99,28 @@ void NestedChainApp::InstallAggregator(ServiceEndpoint* ep) {
 }
 
 sim::Task<StatusOr<uint64_t>> NestedChainApp::DoRequest(
+    ServiceEndpoint* client, uint32_t arg_bytes) {
+  sim::Simulation* sim = cluster_->simulation();
+  // Root of the request's trace: the whole nested-RPC chain (payload
+  // construction, every hop, the aggregate) descends from this span, so
+  // its duration is the end-to-end latency the breakdown must sum to.
+  // The mint is unconditional so traced and untraced runs stay identical.
+  const obs::TraceContext root = obs::EnsureTraceContext(sim->tracer());
+  uint64_t span = 0;
+  if (sim->tracer().enabled()) {
+    span = sim->tracer().BeginSpan(
+        root, "app", "app.request", sim->Now(), client->node(),
+        "{\"app\":\"nested_chain\",\"bytes\":" + std::to_string(arg_bytes) +
+            "}");
+  }
+  obs::SetCurrentTraceContext(obs::TraceContext{
+      root.trace_id, span != 0 ? span : root.span_id, root.flags});
+  auto result = co_await DoRequestInner(client, arg_bytes);
+  if (span != 0) sim->tracer().EndSpan(span, sim->Now());
+  co_return result;
+}
+
+sim::Task<StatusOr<uint64_t>> NestedChainApp::DoRequestInner(
     ServiceEndpoint* client, uint32_t arg_bytes) {
   std::vector<uint8_t> data(arg_bytes);
   uint64_t fill = next_fill_++;

@@ -40,6 +40,10 @@ class NestedChainApp {
  private:
   void InstallForwarder(msvc::ServiceEndpoint* ep, const std::string& next);
   void InstallAggregator(msvc::ServiceEndpoint* ep);
+  /// The request body; DoRequest wraps it in the root "app.request" span
+  /// whose duration is the request's end-to-end latency.
+  sim::Task<StatusOr<uint64_t>> DoRequestInner(msvc::ServiceEndpoint* client,
+                                               uint32_t arg_bytes);
 
   msvc::Cluster* cluster_;
   int chain_len_;

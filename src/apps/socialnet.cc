@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sim/sync.h"
 
 namespace dmrpc::apps {
@@ -343,6 +345,26 @@ sim::Task<StatusOr<uint64_t>> SocialNetApp::DoMixedRequest(
 }
 
 sim::Task<StatusOr<uint64_t>> SocialNetApp::DoRequest(
+    ServiceEndpoint* client, ReqKind kind, uint32_t user) {
+  sim::Simulation* sim = cluster_->simulation();
+  // Root of the request's trace (see NestedChainApp::DoRequest); the
+  // kind arg lets the analyzer break latency down per request class.
+  const obs::TraceContext root = obs::EnsureTraceContext(sim->tracer());
+  uint64_t span = 0;
+  if (sim->tracer().enabled()) {
+    span = sim->tracer().BeginSpan(
+        root, "app", "app.request", sim->Now(), client->node(),
+        "{\"app\":\"socialnet\",\"kind\":" +
+            std::to_string(static_cast<int>(kind)) + "}");
+  }
+  obs::SetCurrentTraceContext(obs::TraceContext{
+      root.trace_id, span != 0 ? span : root.span_id, root.flags});
+  auto result = co_await DoRequestInner(client, kind, user);
+  if (span != 0) sim->tracer().EndSpan(span, sim->Now());
+  co_return result;
+}
+
+sim::Task<StatusOr<uint64_t>> SocialNetApp::DoRequestInner(
     ServiceEndpoint* client, ReqKind kind, uint32_t user) {
   MsgBuffer req;
   req.Append<uint8_t>(static_cast<uint8_t>(kind));

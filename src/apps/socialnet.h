@@ -100,6 +100,10 @@ class SocialNetApp {
   };
 
   void InstallMovers();
+  /// The request body; DoRequest wraps it in the root "app.request" span
+  /// whose duration is the request's end-to-end latency.
+  sim::Task<StatusOr<uint64_t>> DoRequestInner(msvc::ServiceEndpoint* client,
+                                               ReqKind kind, uint32_t user);
   void InstallCompose(msvc::ServiceEndpoint* ep);
   void InstallTimelines();
   void InstallPostStorage(msvc::ServiceEndpoint* ep);

@@ -1,10 +1,42 @@
 #include "core/dmrpc.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace dmrpc::core {
+
+namespace {
+
+/// Opens a causally-linked span for one DmRPC operation and installs the
+/// operation as the ambient causal parent, so the nested DM traffic
+/// (dmnet RPCs, CXL page operations) hangs off it in the span tree. The
+/// trace is minted here when this operation is the root of a request;
+/// the mint is unconditional (see EnsureTraceContext) so traced and
+/// untraced runs stay byte-identical on the wire. Returns the span id
+/// (0 when not recording).
+uint64_t BeginOpSpan(rpc::Rpc* rpc, const char* name, std::string args) {
+  sim::Simulation* sim = sim::Simulation::Current();
+  if (sim == nullptr) return 0;
+  obs::TraceContext ctx = obs::EnsureTraceContext(sim->tracer());
+  uint64_t span = 0;
+  if (sim->tracer().enabled()) {
+    span = sim->tracer().BeginSpan(ctx, "dmrpc", name, sim->Now(),
+                                   rpc->node(), std::move(args));
+  }
+  obs::SetCurrentTraceContext(obs::TraceContext{
+      ctx.trace_id, span != 0 ? span : ctx.span_id, ctx.flags});
+  return span;
+}
+
+void EndOpSpan(uint64_t span) {
+  if (span == 0) return;
+  sim::Simulation* sim = sim::Simulation::Current();
+  if (sim != nullptr) sim->tracer().EndSpan(span, sim->Now());
+}
+
+}  // namespace
 
 sim::Task<Status> MappedRegion::Read(uint64_t offset, uint8_t* dst,
                                      uint64_t len) {
@@ -34,13 +66,23 @@ DmRpc::DmRpc(rpc::Rpc* rpc, dm::DmClient* dm, DmRpcConfig cfg)
 
 sim::Task<StatusOr<Payload>> DmRpc::MakePayload(const uint8_t* data,
                                                 uint64_t size) {
-  if (dm_ == nullptr || size <= cfg_.inline_threshold) {
+  // The size-aware transfer decision, recorded on the span: by_ref=1
+  // means the bytes go to DM once and every hop forwards a Ref.
+  const bool by_ref = dm_ != nullptr && size > cfg_.inline_threshold;
+  const uint64_t span = BeginOpSpan(
+      rpc_, "dmrpc.make_payload",
+      "{\"bytes\":" + std::to_string(size) + ",\"by_ref\":" +
+          (by_ref ? "1" : "0") + "}");
+  if (!by_ref) {
     stats_.payloads_inline++;
-    co_return Payload::MakeInline(std::vector<uint8_t>(data, data + size));
+    Payload p = Payload::MakeInline(std::vector<uint8_t>(data, data + size));
+    EndOpSpan(span);
+    co_return p;
   }
   // The compound form of Listing 1's client side (ralloc + rwrite +
   // create_ref + rfree) -- one DM operation.
   auto ref = co_await dm_->PutRef(data, size);
+  EndOpSpan(span);
   if (!ref.ok()) co_return ref.status();
   stats_.payloads_by_ref++;
   co_return Payload::MakeRef(std::move(*ref));
@@ -59,12 +101,19 @@ sim::Task<StatusOr<std::vector<uint8_t>>> DmRpc::Fetch(
 }
 
 sim::Task<StatusOr<rpc::MsgBuffer>> DmRpc::FetchBuf(const Payload& payload) {
+  const uint64_t span = BeginOpSpan(
+      rpc_, "dmrpc.fetch",
+      "{\"bytes\":" + std::to_string(payload.size()) + ",\"by_ref\":" +
+          (payload.is_ref() ? "1" : "0") + "}");
   if (!payload.is_ref()) {
-    co_return payload.inline_data();
+    rpc::MsgBuffer inline_buf = payload.inline_data();
+    EndOpSpan(span);
+    co_return inline_buf;
   }
   DMRPC_CHECK(dm_ != nullptr) << "by-ref payload without a DM backend";
   // Compound form of map_ref + rread + rfree -- one DM operation.
   auto out = co_await dm_->FetchRef(payload.ref());
+  EndOpSpan(span);
   if (!out.ok()) co_return out.status();
   stats_.fetches++;
   co_return std::move(*out);
@@ -75,7 +124,11 @@ sim::Task<StatusOr<MappedRegion>> DmRpc::Map(const Payload& payload) {
     co_return Status::InvalidArgument("cannot map an inline payload");
   }
   DMRPC_CHECK(dm_ != nullptr) << "by-ref payload without a DM backend";
+  const uint64_t span = BeginOpSpan(
+      rpc_, "dmrpc.map",
+      "{\"bytes\":" + std::to_string(payload.size()) + ",\"by_ref\":1}");
   auto addr = co_await dm_->MapRef(payload.ref());
+  EndOpSpan(span);
   if (!addr.ok()) co_return addr.status();
   stats_.maps++;
   co_return MappedRegion(dm_, *addr, payload.size());
@@ -85,7 +138,12 @@ sim::Task<Status> DmRpc::Release(Payload payload) {
   if (!payload.is_ref()) co_return Status::OK();
   DMRPC_CHECK(dm_ != nullptr);
   stats_.releases++;
-  co_return co_await dm_->ReleaseRef(payload.ref());
+  const uint64_t span = BeginOpSpan(
+      rpc_, "dmrpc.release",
+      "{\"bytes\":" + std::to_string(payload.size()) + ",\"by_ref\":1}");
+  Status st = co_await dm_->ReleaseRef(payload.ref());
+  EndOpSpan(span);
+  co_return st;
 }
 
 }  // namespace dmrpc::core

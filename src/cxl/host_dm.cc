@@ -158,8 +158,8 @@ sim::Task<StatusOr<Ref>> HostDmLayer::CreateRef(RemoteAddr addr,
       stats_.page_faults++;
       m_faults_->Inc();
       if (sim_->tracer().enabled()) {
-        sim_->tracer().Instant("dm", "cxl.fault", sim_->Now(),
-                               rpc_->node(),
+        sim_->tracer().Instant(obs::CurrentTraceContext(), "dm", "cxl.fault",
+                               sim_->Now(), rpc_->node(),
                                "{\"vpn\":" + std::to_string(vpn) + "}");
       }
       co_await sim::Delay(cfg_.fault_ns + cfg_.pte_op_ns);
@@ -247,8 +247,8 @@ sim::Task<Status> HostDmLayer::Write(RemoteAddr addr, const uint8_t* src,
       stats_.page_faults++;
       m_faults_->Inc();
       if (sim_->tracer().enabled()) {
-        sim_->tracer().Instant("dm", "cxl.fault", sim_->Now(),
-                               rpc_->node(),
+        sim_->tracer().Instant(obs::CurrentTraceContext(), "dm", "cxl.fault",
+                               sim_->Now(), rpc_->node(),
                                "{\"vpn\":" + std::to_string(vpn) + "}");
       }
       co_await sim::Delay(cfg_.fault_ns + cfg_.pte_op_ns);
@@ -272,8 +272,8 @@ sim::Task<Status> HostDmLayer::Write(RemoteAddr addr, const uint8_t* src,
         uint64_t span = 0;
         if (sim_->tracer().enabled()) {
           span = sim_->tracer().BeginSpan(
-              "dm", "cxl.cow_copy", sim_->Now(), rpc_->node(),
-              "{\"vpn\":" + std::to_string(vpn) + "}");
+              obs::CurrentTraceContext(), "dm", "cxl.cow_copy", sim_->Now(),
+              rpc_->node(), "{\"vpn\":" + std::to_string(vpn) + "}");
         }
         auto copy = co_await PopLocalFrame();
         if (!copy.ok()) {

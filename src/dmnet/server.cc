@@ -91,7 +91,8 @@ StatusOr<FrameId> DmServer::FaultIn(uint32_t pid, RemoteAddr page_va) {
   stats_.page_faults++;
   m_faults_->Inc();
   if (sim_->tracer().enabled()) {
-    sim_->tracer().Instant("dm", "dm.fault", sim_->Now(), node_,
+    sim_->tracer().Instant(obs::CurrentTraceContext(), "dm", "dm.fault",
+                           sim_->Now(), node_,
                            "{\"pid\":" + std::to_string(pid) + ",\"page_va\":" +
                                std::to_string(page_va) + "}");
   }
@@ -146,7 +147,8 @@ void DmServer::ReclaimPeer(net::NodeId peer) {
   stats_.frames_reclaimed += frames_freed;
   if (sim_->tracer().enabled()) {
     sim_->tracer().Instant(
-        "dm", "dm.peer_reclaim", sim_->Now(), node_,
+        obs::CurrentTraceContext(), "dm", "dm.peer_reclaim", sim_->Now(),
+        node_,
         "{\"peer\":" + std::to_string(peer) +
             ",\"shares\":" + std::to_string(rec.shares_released) +
             ",\"frames\":" + std::to_string(frames_freed) + "}");
@@ -445,7 +447,8 @@ sim::Task<MsgBuffer> DmServer::HandleWrite(ReqContext ctx, MsgBuffer req) {
         m_cow_copies_->Inc();
         if (sim_->tracer().enabled()) {
           sim_->tracer().Instant(
-              "dm", "dm.cow_copy", sim_->Now(), node_,
+              obs::CurrentTraceContext(), "dm", "dm.cow_copy", sim_->Now(),
+              node_,
               "{\"pid\":" + std::to_string(pid) + ",\"page_va\":" +
                   std::to_string(page_va) + "}");
         }

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "msvc/cluster.h"
 #include "msvc/workload.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -185,6 +186,7 @@ std::string ChaosReport::Summary(uint64_t seed) const {
   s += ", ops " + std::to_string(ops_ok) + "/" + std::to_string(ops_attempted);
   s += ", echo " + std::to_string(echo_ok) + "/" +
        std::to_string(echo_ok + echo_failed);
+  s += ", spans " + std::to_string(spans_recorded);
   s += ", crashes " + std::to_string(faults.crashes);
   s += ", drops " + std::to_string(faults.dropped);
   s += ", corrupt " + std::to_string(faults.corrupted);
@@ -200,6 +202,13 @@ ChaosReport RunChaosIteration(const ChaosOptions& opts) {
   DMRPC_CHECK_GE(opts.num_actors, 2) << "actors echo off a neighbour";
   ChaosReport report;
   sim::Simulation sim(opts.seed);
+  // Every iteration runs traced: the sweep then doubles as a propagation
+  // stress test (spans under drops, retransmits, link flaps and crashes)
+  // on top of the data-plane invariants. The limit is far above what one
+  // iteration records, so nothing is shed and the metrics dump -- part of
+  // the determinism fingerprint -- never grows an obs.trace_dropped row.
+  sim.tracer().set_enabled(true);
+  sim.tracer().set_limit(size_t{1} << 22);
   ClusterConfig cfg;
   cfg.backend = Backend::kDmNet;
   cfg.num_nodes = static_cast<uint32_t>(opts.num_actors) + 2;
@@ -281,6 +290,39 @@ ChaosReport RunChaosIteration(const ChaosOptions& opts) {
           std::to_string(report.fetch_mismatches) +
           " fetched payloads differed from their source bytes");
     }
+
+    // Tracing invariants. Request-layer spans must always belong to a
+    // trace (net-layer spans may carry trace 0 for background packets,
+    // e.g. the connect handshake before a request context exists), and
+    // every span begun anywhere must have been closed by retirement --
+    // crashes and retransmissions are not an excuse to lose an end
+    // record. Shed records would make both checks vacuous, so the run
+    // must also fit the record limit.
+    if (sim.tracer().open_span_count() != 0) {
+      report.violations.push_back(
+          std::to_string(sim.tracer().open_span_count()) +
+          " spans still open after retirement");
+    }
+    if (sim.tracer().dropped() != 0) {
+      report.violations.push_back(
+          "tracer shed " + std::to_string(sim.tracer().dropped()) +
+          " records; span invariants not checkable");
+    }
+    uint64_t untraced_spans = 0;
+    for (const obs::TraceRecord& rec : sim.tracer().records()) {
+      report.spans_recorded +=
+          rec.phase == obs::TracePhase::kSpanBegin ? 1 : 0;
+      if (rec.phase == obs::TracePhase::kSpanBegin && rec.trace_id == 0 &&
+          rec.cat != "net") {
+        untraced_spans++;
+      }
+    }
+    if (untraced_spans > 0) {
+      report.violations.push_back(
+          std::to_string(untraced_spans) +
+          " request-layer spans with no trace id");
+    }
+
     report.faults = injector.stats();
   }
   report.executed_events = sim.executed_events();

@@ -51,6 +51,9 @@ struct ChaosReport {
   uint64_t fetch_mismatches = 0;
   uint64_t frames_leaked = 0;
   uint64_t leases_leaked = 0;
+  /// Spans begun during the iteration (tracing is always on in chaos
+  /// runs; see the invariant checks in RunChaosIteration).
+  uint64_t spans_recorded = 0;
   fault::FaultStats faults;
 
   /// Determinism artifacts: identical across reruns of the same seed.

@@ -1,9 +1,11 @@
 #include "msvc/cluster.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "dmnet/protocol.h"
+#include "obs/trace.h"
 
 namespace dmrpc::msvc {
 
@@ -91,19 +93,40 @@ void ServiceEndpoint::Detach(sim::Task<Status> task) {
 sim::Task<StatusOr<rpc::MsgBuffer>> ServiceEndpoint::CallService(
     const std::string& target, rpc::ReqType req_type,
     rpc::MsgBuffer request) {
+  sim::Simulation* sim = cluster_->simulation();
+  // One span per service-to-service hop; the nested rpc.call (and any DM
+  // traffic the handler triggers downstream) becomes its children. The
+  // trace is minted here when the caller has none -- unconditionally, so
+  // traced and untraced runs consume identical trace-id sequences.
+  const obs::TraceContext parent = obs::EnsureTraceContext(sim->tracer());
+  uint64_t span = 0;
+  if (sim->tracer().enabled()) {
+    span = sim->tracer().BeginSpan(
+        parent, "msvc", "msvc.call", sim->Now(), node_,
+        "{\"target\":\"" + target +
+            "\",\"bytes\":" + std::to_string(request.size()) + "}");
+  }
+  obs::SetCurrentTraceContext(obs::TraceContext{
+      parent.trace_id, span != 0 ? span : parent.span_id, parent.flags});
   auto it = sessions_.find(target);
   if (it == sessions_.end()) {
     ServiceEndpoint* ep = cluster_->service(target);
     if (ep == nullptr) {
+      if (span != 0) sim->tracer().EndSpan(span, sim->Now());
       co_return Status::NotFound("unknown service: " + target);
     }
     auto session = co_await rpc_->Connect(ep->node(), ep->port());
-    if (!session.ok()) co_return session.status();
+    if (!session.ok()) {
+      if (span != 0) sim->tracer().EndSpan(span, sim->Now());
+      co_return session.status();
+    }
     it = sessions_.emplace(target, *session).first;
     m_sessions_opened_->Inc();
   }
   m_service_calls_->Inc();
-  co_return co_await rpc_->Call(it->second, req_type, std::move(request));
+  auto resp = co_await rpc_->Call(it->second, req_type, std::move(request));
+  if (span != 0) sim->tracer().EndSpan(span, sim->Now());
+  co_return resp;
 }
 
 sim::Task<Status> ServiceEndpoint::Init() {

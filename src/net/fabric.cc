@@ -31,8 +31,8 @@ void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
             ? pkt.src
             : pkt.dst;
     sim_->tracer().Instant(
-        "net", std::string("net.pkt.") + TraceStageName(stage), sim_->Now(),
-        track,
+        pkt.trace, "net", std::string("net.pkt.") + TraceStageName(stage),
+        sim_->Now(), track,
         "{\"pkt\":" + std::to_string(pkt.id) + ",\"src\":" +
             std::to_string(pkt.src) + ",\"dst\":" + std::to_string(pkt.dst) +
             ",\"bytes\":" + std::to_string(pkt.payload_size()) + "}");
@@ -163,7 +163,7 @@ sim::Task<> Fabric::EgressPump(NodeId port) {
       // Switch egress lanes sit above the node lanes in the trace
       // (track = 1000 + egress port; see docs/ARCHITECTURE.md).
       span = sim_->tracer().BeginSpan(
-          "net", "net.switch_egress", sim_->Now(), 1000 + port,
+          pkt.trace, "net", "net.switch_egress", sim_->Now(), 1000 + port,
           "{\"pkt\":" + std::to_string(pkt.id) + "}");
     }
     co_await sim::Delay(serialize);

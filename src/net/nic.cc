@@ -75,7 +75,7 @@ sim::Task<> Nic::TxPump() {
     uint64_t span = 0;
     if (sim_->tracer().enabled()) {
       span = sim_->tracer().BeginSpan(
-          "net", "net.nic_tx", sim_->Now(), node_,
+          pkt.trace, "net", "net.nic_tx", sim_->Now(), node_,
           "{\"pkt\":" + std::to_string(pkt.id) +
               ",\"bytes\":" + std::to_string(pkt.payload_size()) + "}");
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "sim/buffer_pool.h"
 
 namespace dmrpc::net {
@@ -38,6 +39,12 @@ struct Packet {
   /// NetworkConfig::wire_header_bytes, and real corrupted frames never
   /// reach software either.
   bool fcs_bad = false;
+  /// The request trace this packet belongs to (copied from the RPC
+  /// header at build time). The NIC and switch pumps serve packets from
+  /// many requests interleaved, so the causal link for their wire-time
+  /// spans must ride on the packet, not on ambient coroutine context.
+  /// Simulator-side metadata only -- the wire image is unaffected.
+  obs::TraceContext trace;
   /// Head buffer: always holds at least the protocol header for packets
   /// built by the RPC layer; packets built elsewhere (tests, tools) may
   /// carry their whole frame here contiguously.

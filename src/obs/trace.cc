@@ -7,10 +7,86 @@ namespace dmrpc::obs {
 
 namespace {
 
+/// Full JSON string escaping: quote, backslash, and control characters
+/// (a raw newline or tab inside a span name would otherwise produce an
+/// unparseable trace file).
 void AppendEscaped(std::string* out, const std::string& s) {
+  char buf[8];
   for (char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
+    unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (uc < 0x20) {
+          std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// Structural check that `s` is one balanced JSON object, string-aware
+/// (braces inside string literals don't count). Exporters emit args
+/// verbatim only when this holds; anything else is wrapped as an escaped
+/// string so a bad caller cannot corrupt the whole trace file.
+bool LooksLikeJsonObject(const std::string& s) {
+  if (s.empty() || s.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control char inside a string literal
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+      if (depth == 0) return i + 1 == s.size();  // must end exactly here
+    }
+  }
+  return false;
+}
+
+/// Emits `,"args":...` -- the args object verbatim when well-formed,
+/// otherwise wrapped so the output stays valid JSON.
+void AppendArgs(std::string* out, const std::string& args) {
+  if (args.empty()) return;
+  *out += ",\"args\":";
+  if (LooksLikeJsonObject(args)) {
+    *out += args;
+  } else {
+    *out += "{\"invalid_args\":\"";
+    AppendEscaped(out, args);
+    *out += "\"}";
   }
 }
 
@@ -20,6 +96,8 @@ std::string JsonlRecord(const TraceRecord& r, const char* ph) {
   line += ph;
   line += "\",\"ts\":" + std::to_string(r.time);
   if (r.id != 0) line += ",\"id\":" + std::to_string(r.id);
+  if (r.trace_id != 0) line += ",\"trace\":" + std::to_string(r.trace_id);
+  if (r.parent_id != 0) line += ",\"parent\":" + std::to_string(r.parent_id);
   line += ",\"track\":" + std::to_string(r.track);
   line += ",\"depth\":" + std::to_string(r.depth);
   line += ",\"cat\":\"";
@@ -27,15 +105,31 @@ std::string JsonlRecord(const TraceRecord& r, const char* ph) {
   line += "\",\"name\":\"";
   AppendEscaped(&line, r.name);
   line += "\"";
-  if (!r.args.empty()) line += ",\"args\":" + r.args;
+  AppendArgs(&line, r.args);
   line += "}";
   return line;
 }
 
+/// Splices `key:value` into an args object string ("" means no object
+/// yet), keeping it a valid object.
+void MergeArg(std::string* args, const std::string& key, uint64_t value) {
+  std::string kv = "\"" + key + "\":" + std::to_string(value);
+  if (args->empty()) {
+    *args = "{" + kv + "}";
+  } else if (LooksLikeJsonObject(*args)) {
+    args->insert(args->size() - 1,
+                 (*args == "{}" ? kv : "," + kv));
+  }
+  // Malformed caller-supplied args: leave untouched; the exporter wraps
+  // them anyway.
+}
+
 }  // namespace
 
-uint64_t Tracer::BeginSpan(std::string cat, std::string name, TimeNs now,
-                           uint32_t track, std::string args) {
+uint64_t Tracer::BeginSpanRecord(uint64_t trace_id, uint64_t parent_id,
+                                 std::string cat, std::string name,
+                                 TimeNs now, uint32_t track,
+                                 std::string args) {
   if (!enabled_) return 0;
   if (Full()) {
     ++dropped_;
@@ -47,6 +141,8 @@ uint64_t Tracer::BeginSpan(std::string cat, std::string name, TimeNs now,
   rec.phase = TracePhase::kSpanBegin;
   rec.time = now;
   rec.id = id;
+  rec.trace_id = trace_id;
+  rec.parent_id = parent_id;
   rec.track = track;
   rec.depth = depth;
   rec.cat = std::move(cat);
@@ -58,15 +154,37 @@ uint64_t Tracer::BeginSpan(std::string cat, std::string name, TimeNs now,
   return id;
 }
 
+uint64_t Tracer::BeginSpan(std::string cat, std::string name, TimeNs now,
+                           uint32_t track, std::string args) {
+  return BeginSpanRecord(0, 0, std::move(cat), std::move(name), now, track,
+                         std::move(args));
+}
+
+uint64_t Tracer::BeginSpan(const TraceContext& ctx, std::string cat,
+                           std::string name, TimeNs now, uint32_t track,
+                           std::string args) {
+  return BeginSpanRecord(ctx.trace_id, ctx.span_id, std::move(cat),
+                         std::move(name), now, track, std::move(args));
+}
+
 void Tracer::EndSpan(uint64_t id, TimeNs now) {
   if (id == 0) return;  // disabled or dropped at begin
   auto it = open_.find(id);
   if (it == open_.end()) return;  // already ended, or Clear()ed
-  const TraceRecord& begin = records_[it->second];
+  TraceRecord& begin = records_[it->second];
+  auto copied = open_copied_.find(id);
+  if (copied != open_copied_.end()) {
+    // Fold attributed copies into the begin record so both exporters
+    // (which render spans off the begin) carry them.
+    MergeArg(&begin.args, "copied", copied->second);
+    open_copied_.erase(copied);
+  }
   TraceRecord rec;
   rec.phase = TracePhase::kSpanEnd;
   rec.time = now;
   rec.id = id;
+  rec.trace_id = begin.trace_id;
+  rec.parent_id = begin.parent_id;
   rec.track = begin.track;
   rec.depth = begin.depth;
   rec.cat = begin.cat;
@@ -82,8 +200,29 @@ void Tracer::EndSpan(uint64_t id, TimeNs now) {
   records_.push_back(std::move(rec));
 }
 
+void Tracer::AttributeBytesCopied(uint64_t id, uint64_t n) {
+  if (id == 0 || n == 0) return;
+  if (open_.find(id) == open_.end()) return;
+  open_copied_[id] += n;
+}
+
+void Tracer::AttributeSpanArg(uint64_t id, const std::string& key,
+                              uint64_t value) {
+  if (id == 0) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  MergeArg(&records_[it->second].args, key, value);
+}
+
 void Tracer::Instant(std::string cat, std::string name, TimeNs now,
                      uint32_t track, std::string args) {
+  Instant(TraceContext{}, std::move(cat), std::move(name), now, track,
+          std::move(args));
+}
+
+void Tracer::Instant(const TraceContext& ctx, std::string cat,
+                     std::string name, TimeNs now, uint32_t track,
+                     std::string args) {
   if (!enabled_) return;
   if (Full()) {
     ++dropped_;
@@ -91,6 +230,8 @@ void Tracer::Instant(std::string cat, std::string name, TimeNs now,
   }
   TraceRecord rec;
   rec.time = now;
+  rec.trace_id = ctx.trace_id;
+  rec.parent_id = ctx.span_id;
   rec.track = track;
   auto d = depth_by_track_.find(track);
   rec.depth = d == depth_by_track_.end() ? 0 : d->second;
@@ -108,6 +249,7 @@ uint32_t Tracer::OpenDepth(uint32_t track) const {
 void Tracer::Clear() {
   records_.clear();
   open_.clear();
+  open_copied_.clear();
   depth_by_track_.clear();
   dropped_ = 0;
 }
@@ -119,6 +261,8 @@ void Tracer::WriteJsonLines(std::ostream& os) const {
                                                        : "i";
     os << JsonlRecord(r, ph) << "\n";
   }
+  os << "{\"ph\":\"M\",\"name\":\"trace_metadata\",\"args\":{\"dropped\":"
+     << dropped_ << "}}\n";
 }
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
@@ -161,10 +305,22 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     ev += "\",\"name\":\"";
     AppendEscaped(&ev, r.name);
     ev += "\"";
-    if (!r.args.empty()) ev += ",\"args\":" + r.args;
+    // Causal identity rides in args so the viewer can group/filter by
+    // trace; splice into the caller's args object when one exists.
+    std::string args = r.args;
+    if (r.id != 0) MergeArg(&args, "span", r.id);
+    if (r.parent_id != 0) MergeArg(&args, "parent", r.parent_id);
+    if (r.trace_id != 0) MergeArg(&args, "trace", r.trace_id);
+    AppendArgs(&ev, args);
     ev += "}";
     os << ev;
   }
+  // Trailing metadata event: a viewer (or a human) can tell a truncated
+  // trace from a complete one.
+  if (!first) os << ",";
+  os << "{\"pid\":0,\"tid\":0,\"ph\":\"M\",\"name\":\"trace_metadata\","
+        "\"args\":{\"dropped\":"
+     << dropped_ << "}}";
   os << "]}\n";
 }
 

@@ -1,0 +1,79 @@
+#ifndef DMRPC_OBS_TRACE_CONTEXT_H_
+#define DMRPC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace dmrpc::obs {
+
+/// Causal identity of the end-to-end request the currently executing
+/// code works on behalf of (Dapper-style). A context is assigned at the
+/// root RPC of a request, carried on every packet header the request
+/// causes (see rpc::PacketHeader), and inherited by every nested RPC,
+/// dmnet fetch, and CXL/dm page operation a handler performs.
+///
+/// Propagation is ambient: the simulator's coroutine machinery captures
+/// the context at task-frame creation and restores it across every
+/// suspension (see sim/task.h), so layers read CurrentTraceContext()
+/// instead of threading an argument through every signature. The
+/// plumbing is unconditional and purely value-copying -- it never
+/// schedules events, consumes randomness, or touches metrics -- so it
+/// cannot perturb a deterministic run; only span *recording* is gated on
+/// the tracer being enabled.
+struct TraceContext {
+  /// Flag bit: the trace is sampled (recorded). The simulator records
+  /// 100% of traces when tracing is on, but the bit travels on the wire
+  /// so the decision is made once, at the root.
+  static constexpr uint8_t kSampled = 0x1;
+  /// All bits with defined meaning; the wire decoder rejects headers
+  /// carrying any other bit (malformed trace context).
+  static constexpr uint8_t kValidFlags = kSampled;
+
+  uint64_t trace_id = 0;  // 0 = no trace (untraced work)
+  uint64_t span_id = 0;   // causal parent span within the trace
+  uint8_t flags = 0;      // kSampled etc.
+
+  bool valid() const { return trace_id != 0; }
+  bool sampled() const { return (flags & kSampled) != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+namespace internal {
+/// The ambient slot. The simulator is single-threaded per Simulation;
+/// thread_local keeps independent simulations on different threads (the
+/// test runner) from interfering.
+inline thread_local TraceContext g_trace_context;
+}  // namespace internal
+
+/// The context of the currently executing coroutine (or {} outside any
+/// traced request).
+inline TraceContext CurrentTraceContext() {
+  return internal::g_trace_context;
+}
+
+inline void SetCurrentTraceContext(const TraceContext& ctx) {
+  internal::g_trace_context = ctx;
+}
+
+/// RAII: installs `ctx` for the current scope, restoring the previous
+/// context on destruction. For synchronous code; inside a coroutine
+/// prefer SetCurrentTraceContext (the coroutine plumbing carries the
+/// assignment across suspensions, which a stack-scoped guard cannot).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx)
+      : prev_(internal::g_trace_context) {
+    internal::g_trace_context = ctx;
+  }
+  ~TraceContextScope() { internal::g_trace_context = prev_; }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace dmrpc::obs
+
+#endif  // DMRPC_OBS_TRACE_CONTEXT_H_

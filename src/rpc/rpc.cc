@@ -66,6 +66,7 @@ void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
   pkt.dst_port = dst_port;
   pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes);
   hdr.EncodeTo(pkt.payload.AppendRaw(PacketHeader::kWireBytes));
+  pkt.trace = hdr.trace_context();
   stats_.tx_packets++;
   m_tx_packets_->Inc();
   if (meter_ != nullptr) {
@@ -84,6 +85,7 @@ void Rpc::SendPacket(net::NodeId dst, net::Port dst_port,
   pkt.dst_port = dst_port;
   pkt.payload = sim_->buffer_pool().Acquire(PacketHeader::kWireBytes);
   hdr.EncodeTo(pkt.payload.AppendRaw(PacketHeader::kWireBytes));
+  pkt.trace = hdr.trace_context();
   if (len > 0) msg.CollectSlices(cur, off, len, &pkt.frags);
   stats_.tx_packets++;
   m_tx_packets_->Inc();
@@ -262,10 +264,13 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   }
 
   const TimeNs call_start = sim_->Now();
+  // The caller's ambient context, or a fresh root trace when this Call
+  // *is* the root of a request (every traced span below hangs off it).
+  const obs::TraceContext parent = obs::EnsureTraceContext(sim_->tracer());
   uint64_t call_span = 0;
   if (sim_->tracer().enabled()) {
     call_span = sim_->tracer().BeginSpan(
-        "rpc", "rpc.call", call_start, node_,
+        parent, "rpc", "rpc.call", call_start, node_,
         "{\"session\":" + std::to_string(session) +
             ",\"req_type\":" + std::to_string(req_type) +
             ",\"bytes\":" + std::to_string(request.size()) + "}");
@@ -292,6 +297,12 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   slot.seq += 1;
   slot.req_id = slot.seq * cfg_.session_slots + slot_idx;
   slot.req_type = req_type;
+  // What travels on the wire: the request's trace with this call's span
+  // as the causal parent (or the caller's span when recording is off --
+  // span ids are only minted while the tracer is enabled).
+  slot.trace = obs::TraceContext{parent.trace_id,
+                                 call_span != 0 ? call_span : parent.span_id,
+                                 parent.flags};
   slot.request = std::move(request);
   slot.credits_consumed = 0;
   slot.credits_returned = 0;
@@ -314,6 +325,9 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   slot.busy = false;
   sess.slot_sem->Release();
   m_call_ns_->Record(sim_->Now() - call_start);
+  if (call_span != 0) {
+    sim_->tracer().AttributeSpanArg(call_span, "resp_bytes", response.size());
+  }
   sim_->tracer().EndSpan(call_span, sim_->Now());
   if (!st.ok()) co_return st;
   co_return response;
@@ -361,6 +375,10 @@ sim::Task<> Rpc::SendRequestPackets(SessionId session_id, int slot_idx,
     hdr.num_pkts = num_pkts;
     hdr.req_id = req_id;
     hdr.msg_size = static_cast<uint32_t>(total_bytes);
+    // Every fragment -- original or retransmitted -- carries the call's
+    // stored context, so the context survives fragmentation and
+    // retransmission by construction.
+    hdr.set_trace_context(slot.trace);
     size_t off = static_cast<size_t>(i) * chunk;
     size_t len = std::min(chunk, total_bytes - off);
     if (total_bytes == 0) len = 0;
@@ -603,7 +621,7 @@ sim::Task<> Rpc::RetransmitScanner() {
         m_retransmits_->Inc();
         if (sim_->tracer().enabled()) {
           sim_->tracer().Instant(
-              "rpc", "rpc.retransmit", now, node_,
+              slot.trace, "rpc", "rpc.retransmit", now, node_,
               "{\"req_id\":" + std::to_string(slot.req_id) +
                   ",\"retry\":" + std::to_string(slot.retries) + "}");
         }
@@ -627,6 +645,9 @@ void Rpc::SendCreditReturn(const ServerSession& sess, uint64_t req_id,
   hdr.session_id = sess.client_session_id;
   hdr.req_id = req_id;
   hdr.pkt_idx = pkt_idx;
+  // Echo the request's context (callers store it on the slot before the
+  // first credit return goes out).
+  hdr.set_trace_context(sess.slots[req_id % cfg_.session_slots].trace);
   SendPacket(sess.remote, sess.remote_port, hdr);
 }
 
@@ -678,6 +699,10 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
       slot.req.seen[hdr.pkt_idx] = true;
       slot.req.pkts++;
       if (slot.req.complete()) {
+        // The handler frame is created under the request's wire context
+        // (scoped here; captured by the frame's promise), so the handler
+        // inherits the caller's causal identity.
+        obs::TraceContextScope trace_scope(slot.trace);
         sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
                                slot.req_type, slot.req.TakeMessage()));
       }
@@ -691,6 +716,9 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
   slot.have_response = false;
   slot.cached_response.Clear();
   slot.req_type = hdr.req_type;
+  // Any fragment of a request carries the same context; keep the one
+  // from the fragment that armed reassembly.
+  slot.trace = hdr.trace_context();
   slot.req.Start(hdr);
 
   size_t off = static_cast<size_t>(hdr.pkt_idx) * max_data_per_packet();
@@ -701,6 +729,7 @@ void Rpc::OnRequestPacket(const net::Packet& pkt, const PacketHeader& hdr) {
   slot.req.pkts++;
   if (!is_final_pkt) SendCreditReturn(sess, hdr.req_id, hdr.pkt_idx);
   if (slot.req.complete()) {
+    obs::TraceContextScope trace_scope(slot.trace);
     sim_->Spawn(RunHandler(server_session_id, slot_idx, hdr.req_id,
                            slot.req_type, slot.req.TakeMessage()));
   }
@@ -720,15 +749,30 @@ sim::Task<> Rpc::RunHandler(uint16_t server_session_id, int slot_idx,
   m_requests_handled_->Inc();
 
   const TimeNs handler_start = sim_->Now();
+  // This frame was created under the request's wire context (see
+  // OnRequestPacket), which the coroutine machinery re-installed here.
+  const obs::TraceContext wire = obs::CurrentTraceContext();
+  const size_t req_bytes = req.size();
   uint64_t handler_span = 0;
   if (sim_->tracer().enabled()) {
     handler_span = sim_->tracer().BeginSpan(
-        "rpc", "rpc.handler", handler_start, node_,
+        wire, "rpc", "rpc.handler", handler_start, node_,
         "{\"req_type\":" + std::to_string(req_type) +
-            ",\"req_id\":" + std::to_string(req_id) + "}");
+            ",\"req_id\":" + std::to_string(req_id) +
+            ",\"bytes\":" + std::to_string(req_bytes) + "}");
   }
+  // Handler inheritance: everything the handler does -- nested RPCs,
+  // dmnet fetches, CXL page operations -- is causally parented on the
+  // handler span (or the wire parent when recording is off).
+  ctx.trace = obs::TraceContext{
+      wire.trace_id, handler_span != 0 ? handler_span : wire.span_id,
+      wire.flags};
+  obs::SetCurrentTraceContext(ctx.trace);
   MsgBuffer resp = co_await handlers_[req_type](ctx, std::move(req));
   m_handler_ns_->Record(sim_->Now() - handler_start);
+  if (handler_span != 0) {
+    sim_->tracer().AttributeSpanArg(handler_span, "resp_bytes", resp.size());
+  }
   sim_->tracer().EndSpan(handler_span, sim_->Now());
 
   // The session may have been torn down or the slot reused while the
@@ -774,6 +818,7 @@ sim::Task<> Rpc::SendResponse(uint16_t server_session_id, int slot_idx,
     hdr.num_pkts = num_pkts;
     hdr.req_id = req_id;
     hdr.msg_size = static_cast<uint32_t>(total);
+    hdr.set_trace_context(slot2.trace);
     size_t off = static_cast<size_t>(i) * chunk;
     size_t len = total == 0 ? 0 : std::min(chunk, total - off);
     SendPacket(sess2.remote, sess2.remote_port, hdr, slot2.cached_response,

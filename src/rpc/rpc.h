@@ -57,6 +57,10 @@ struct ReqContext {
   net::NodeId peer = net::kInvalidNode;
   net::Port peer_port = 0;
   ReqType req_type = 0;
+  /// The request's causal identity (trace id + the handler's span). Also
+  /// installed as the ambient context for the handler coroutine, so
+  /// nested RPCs and DM operations inherit it without touching this.
+  obs::TraceContext trace;
 };
 
 /// A request handler: a coroutine consuming the request payload and
@@ -203,6 +207,11 @@ class Rpc {
     /// Effective RTO for this request; doubles on each retransmission up
     /// to rto_max_ns, resets on a server progress ack.
     TimeNs cur_rto_ns = 0;
+    /// Wire context carried on every request fragment of this call --
+    /// stored here (not read from the ambient slot) so retransmissions,
+    /// which are issued by the scanner far outside the caller's context,
+    /// carry the identical trace context as the original send.
+    obs::TraceContext trace;
     Reassembly resp;
     std::unique_ptr<sim::Completion<Status>> done;
   };
@@ -231,6 +240,10 @@ class Rpc {
     bool in_progress = false;
     bool have_response = false;
     ReqType req_type = 0;
+    /// Wire context of the current request (from its first fragment);
+    /// echoed on every response fragment and credit return so any packet
+    /// of the exchange can be attributed to its trace.
+    obs::TraceContext trace;
     MsgBuffer cached_response;
     Reassembly req;
   };

@@ -44,6 +44,9 @@ void PacketHeader::EncodeTo(uint8_t* out) const {
   PutRaw<uint16_t>(out, &pos, num_pkts);
   PutRaw<uint64_t>(out, &pos, req_id);
   PutRaw<uint32_t>(out, &pos, msg_size);
+  PutRaw<uint64_t>(out, &pos, trace_id);
+  PutRaw<uint64_t>(out, &pos, parent_span);
+  PutRaw<uint8_t>(out, &pos, trace_flags);
 }
 
 bool PacketHeader::DecodeFrom(const uint8_t* data, size_t len) {
@@ -58,6 +61,12 @@ bool PacketHeader::DecodeFrom(const uint8_t* data, size_t len) {
   num_pkts = Get<uint16_t>(data, &pos);
   req_id = Get<uint64_t>(data, &pos);
   msg_size = Get<uint32_t>(data, &pos);
+  trace_id = Get<uint64_t>(data, &pos);
+  parent_span = Get<uint64_t>(data, &pos);
+  trace_flags = Get<uint8_t>(data, &pos);
+  // Malformed trace context: flag bits with no defined meaning. Rejecting
+  // here keeps every downstream consumer of trace_context() total.
+  if ((trace_flags & ~obs::TraceContext::kValidFlags) != 0) return false;
   return true;
 }
 
@@ -69,6 +78,12 @@ void AccountPayloadCopy(size_t n) {
   // message path stays copy-free dump byte-identical metrics JSON (the
   // determinism fingerprints depend on it).
   s->metrics().GetCounter("rpc.bytes_copied")->Inc(static_cast<int64_t>(n));
+  if (s->tracer().enabled()) {
+    // Attribute the copy to the nearest enclosing local span: the
+    // ambient context's span id, when it names a span open on this
+    // tracer (remote parents are silently skipped).
+    s->tracer().AttributeBytesCopied(obs::CurrentTraceContext().span_id, n);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace_context.h"
 #include "sim/buffer_pool.h"
 
 namespace dmrpc::rpc {
@@ -23,9 +24,17 @@ enum class MsgType : uint8_t {
 };
 
 /// Fixed header prepended to every RPC packet on the wire.
+///
+/// The trace-context triple (trace_id / parent_span / trace_flags) is
+/// part of the fixed header for every message type -- a conditional
+/// header size would make packet sizes depend on whether a request is
+/// traced, perturbing the very runs tracing is meant to observe. For
+/// kRequest it carries the caller's causal identity into the callee's
+/// handler; responses and credit returns echo the request's context so
+/// any packet on the wire can be attributed to its originating request.
 struct PacketHeader {
   static constexpr uint16_t kMagic = 0xDA7A;
-  static constexpr size_t kWireBytes = 22;
+  static constexpr size_t kWireBytes = 39;
 
   uint16_t magic = kMagic;
   MsgType msg_type = MsgType::kRequest;
@@ -36,11 +45,26 @@ struct PacketHeader {
   uint16_t num_pkts = 1;     // total fragments in the message
   uint64_t req_id = 0;       // per-session monotonically increasing
   uint32_t msg_size = 0;     // total message payload bytes
+  uint64_t trace_id = 0;     // causal trace of the originating request
+                             // (0 = untraced)
+  uint64_t parent_span = 0;  // sender-side span that caused this message
+  uint8_t trace_flags = 0;   // obs::TraceContext flag bits (kSampled)
+
+  /// The trace context this header carries (for handler inheritance).
+  obs::TraceContext trace_context() const {
+    return obs::TraceContext{trace_id, parent_span, trace_flags};
+  }
+  void set_trace_context(const obs::TraceContext& ctx) {
+    trace_id = ctx.trace_id;
+    parent_span = ctx.span_id;
+    trace_flags = ctx.flags;
+  }
 
   /// Writes exactly kWireBytes into `out` (hot path: the RPC layer
   /// encodes straight into a pooled packet buffer, no vector involved).
   void EncodeTo(uint8_t* out) const;
-  /// Returns false if `data` is too short or the magic mismatches.
+  /// Returns false if `data` is too short, the magic mismatches, or the
+  /// trace-context bytes are malformed (undefined flag bits set).
   bool DecodeFrom(const uint8_t* data, size_t len);
 };
 

@@ -51,6 +51,7 @@ class Channel {
     struct Awaiter {
       Channel* ch;
       std::optional<T> slot;
+      obs::TraceContext saved = obs::CurrentTraceContext();
 
       bool await_ready() {
         if (ch->items_.empty()) return false;
@@ -61,7 +62,10 @@ class Channel {
       void await_suspend(std::coroutine_handle<> h) {
         ch->waiters_.push_back(Waiter{h, &slot});
       }
-      T await_resume() { return std::move(*slot); }
+      T await_resume() {
+        obs::SetCurrentTraceContext(saved);
+        return std::move(*slot);
+      }
     };
     return Awaiter{this, std::nullopt};
   }

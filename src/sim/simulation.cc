@@ -28,7 +28,14 @@ void NotifyDetachedDone(Simulation* sim, std::coroutine_handle<> h) {
 }
 }  // namespace internal
 
-Simulation::Simulation(uint64_t seed) : rng_(seed, /*seq=*/0xda3e39cb94b95bdbULL) {}
+Simulation::Simulation(uint64_t seed)
+    : rng_(seed, /*seq=*/0xda3e39cb94b95bdbULL) {
+  // A fresh simulation must not inherit the thread's ambient trace
+  // context: coroutine frames capture it at creation, so a context left
+  // over from a previous simulation on this thread (benches run one per
+  // scenario) would stitch the new run's spans into the old run's trace.
+  obs::SetCurrentTraceContext(obs::TraceContext{});
+}
 
 Simulation::~Simulation() {
   // Drop pending events without running them, then destroy live detached
@@ -53,6 +60,14 @@ std::string Simulation::DumpMetricsJson() {
   metrics_.GetGauge("sim.events_executed")->Set(static_cast<int64_t>(executed_));
   metrics_.GetGauge("sim.live_tasks")->Set(live_tasks_);
   metrics_.GetGauge("sim.now_ns")->Set(now_);
+  // Folded only when records were actually shed: a run whose trace fits
+  // in the limit (and every tracing-off run) dumps byte-identical JSON,
+  // which the zero-perturbation fingerprints depend on. A truncated
+  // trace, by contrast, *should* be loudly visible in the sidecar.
+  if (tracer_.dropped() > 0) {
+    metrics_.GetGauge("obs.trace_dropped")
+        ->Set(static_cast<int64_t>(tracer_.dropped()));
+  }
   return metrics_.DumpJson();
 }
 
@@ -81,6 +96,10 @@ void Simulation::ScheduleHandle(TimeNs t, std::coroutine_handle<> h) {
 void Simulation::Dispatch(EventQueue::Event ev) {
   now_ = ev.t;
   ++executed_;
+  // Each event starts from a clean ambient trace context: resumed
+  // coroutines restore their own saved context in await_resume, and plain
+  // callbacks must not inherit whatever the previous event left behind.
+  obs::SetCurrentTraceContext({});
   if (ev.handle) {
     ev.handle.resume();
   } else {

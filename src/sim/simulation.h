@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "sim/buffer_pool.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -168,12 +169,15 @@ class Simulation {
 };
 
 /// Awaitable that resumes the current coroutine after `delay` virtual ns.
-/// A zero delay still yields through the scheduler (FIFO fairness).
+/// A zero delay still yields through the scheduler (FIFO fairness). The
+/// ambient trace context is captured at the co_await point and restored
+/// on resume (the scheduler clears it between events).
 struct DelayAwaiter {
   TimeNs delay;
+  obs::TraceContext saved = obs::CurrentTraceContext();
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const;
-  void await_resume() const noexcept {}
+  void await_resume() const noexcept { obs::SetCurrentTraceContext(saved); }
 };
 
 /// co_await Delay(ns): suspend the current task for `ns` virtual time.

@@ -42,11 +42,15 @@ class Completion {
   auto Wait() {
     struct Awaiter {
       Completion* c;
+      obs::TraceContext saved = obs::CurrentTraceContext();
       bool await_ready() const { return c->value_.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
         c->waiters_.push_back(h);
       }
-      T& await_resume() const { return *c->value_; }
+      T& await_resume() const {
+        obs::SetCurrentTraceContext(saved);
+        return *c->value_;
+      }
     };
     return Awaiter{this};
   }
@@ -84,11 +88,12 @@ class WaitGroup {
   auto Wait() {
     struct Awaiter {
       WaitGroup* wg;
+      obs::TraceContext saved = obs::CurrentTraceContext();
       bool await_ready() const { return wg->count_ == 0; }
       void await_suspend(std::coroutine_handle<> h) {
         wg->waiters_.push_back(h);
       }
-      void await_resume() const {}
+      void await_resume() const { obs::SetCurrentTraceContext(saved); }
     };
     return Awaiter{this};
   }
@@ -112,6 +117,7 @@ class Semaphore {
   auto Acquire() {
     struct Awaiter {
       Semaphore* s;
+      obs::TraceContext saved = obs::CurrentTraceContext();
       bool await_ready() {
         if (s->permits_ > 0) {
           --s->permits_;
@@ -122,7 +128,7 @@ class Semaphore {
       void await_suspend(std::coroutine_handle<> h) {
         s->waiters_.push_back(h);
       }
-      void await_resume() const {}
+      void await_resume() const { obs::SetCurrentTraceContext(saved); }
     };
     return Awaiter{this};
   }

@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace_context.h"
+
 namespace dmrpc::sim {
 
 class Simulation;
@@ -19,6 +21,21 @@ struct PromiseBase {
   /// Set when the task was detached via Simulation::Spawn: the frame
   /// self-destructs at final suspend and notifies the owner.
   Simulation* detached_owner = nullptr;
+  /// Ambient trace context captured at frame creation (which runs in the
+  /// caller's context even for this lazily-started task) and installed
+  /// whenever the frame first resumes -- so a task inherits the causal
+  /// identity of whoever created it, no matter how it is later resumed
+  /// (awaited child, Spawned root, scheduler wake-up).
+  obs::TraceContext trace = obs::CurrentTraceContext();
+};
+
+/// Initial awaiter: suspends like std::suspend_always, then installs the
+/// frame's captured trace context when the task actually starts running.
+struct InitialAwaiter {
+  PromiseBase* p;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept { obs::SetCurrentTraceContext(p->trace); }
 };
 
 /// Unregisters and destroys a finished detached root frame. Destroying a
@@ -67,7 +84,7 @@ class [[nodiscard]] Task {
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
-    std::suspend_always initial_suspend() noexcept { return {}; }
+    internal::InitialAwaiter initial_suspend() noexcept { return {this}; }
     internal::FinalAwaiter final_suspend() noexcept { return {}; }
     void return_value(T v) { value.emplace(std::move(v)); }
     void unhandled_exception() { std::terminate(); }
@@ -93,16 +110,22 @@ class [[nodiscard]] Task {
   bool done() const { return !h_ || h_.done(); }
 
   /// Awaiting starts the child and suspends the parent until it returns.
+  /// The parent's trace context is restored on resume (the child may have
+  /// installed its own while running).
   auto operator co_await() && noexcept {
     struct Awaiter {
       Handle h;
+      obs::TraceContext saved = obs::CurrentTraceContext();
       bool await_ready() const noexcept { return !h || h.done(); }
       std::coroutine_handle<> await_suspend(
           std::coroutine_handle<> cont) noexcept {
         h.promise().continuation = cont;
         return h;
       }
-      T await_resume() { return std::move(*h.promise().value); }
+      T await_resume() {
+        obs::SetCurrentTraceContext(saved);
+        return std::move(*h.promise().value);
+      }
     };
     return Awaiter{h_};
   }
@@ -124,7 +147,7 @@ class [[nodiscard]] Task<void> {
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
-    std::suspend_always initial_suspend() noexcept { return {}; }
+    internal::InitialAwaiter initial_suspend() noexcept { return {this}; }
     internal::FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { std::terminate(); }
@@ -152,13 +175,14 @@ class [[nodiscard]] Task<void> {
   auto operator co_await() && noexcept {
     struct Awaiter {
       Handle h;
+      obs::TraceContext saved = obs::CurrentTraceContext();
       bool await_ready() const noexcept { return !h || h.done(); }
       std::coroutine_handle<> await_suspend(
           std::coroutine_handle<> cont) noexcept {
         h.promise().continuation = cont;
         return h;
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept { obs::SetCurrentTraceContext(saved); }
     };
     return Awaiter{h_};
   }

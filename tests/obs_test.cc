@@ -176,10 +176,11 @@ TEST(TracerTest, JsonLinesOneObjectPerRecord) {
   std::string out = os.str();
   int lines = 0;
   for (char c : out) lines += c == '\n';
-  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(lines, 4);  // 3 records + trailing metadata line
   EXPECT_NE(out.find("\"name\":\"rpc.call\""), std::string::npos);
   EXPECT_NE(out.find("\"name\":\"dm.fault\""), std::string::npos);
   EXPECT_NE(out.find("{\"req\":1}"), std::string::npos);
+  EXPECT_NE(out.find("\"dropped\":0"), std::string::npos);
 }
 
 TEST(TracerTest, ChromeTraceExportsCompleteEvents) {

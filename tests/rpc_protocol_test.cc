@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "fault/fault.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "rpc/wire.h"
 #include "sim/simulation.h"
@@ -317,6 +319,232 @@ TEST_P(LossPatternTest, ExactlyOnceUnderRandomLoss) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossPatternTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- Trace-context propagation under adversity -------------------------
+//
+// The trace triple rides the fixed packet header, so it must survive
+// whatever the protocol machinery does to a message: fragmentation far
+// beyond the credit window, retransmission after loss, and riding out a
+// link outage. Each test runs one traced request and then checks the
+// causal chain the tracer recorded.
+
+/// Causal facts of a single-request run, scanned from the tracer.
+struct TraceView {
+  uint64_t trace_id = 0;       // of the (single) rpc.call span
+  uint64_t call_span = 0;
+  size_t call_begins = 0;
+  size_t handler_begins = 0;
+  uint64_t handler_parent = 0;
+  uint64_t handler_trace = 0;
+  size_t retransmit_instants = 0;
+  size_t retransmits_in_trace = 0;  // retransmit instants on the trace
+  size_t foreign_records = 0;       // nonzero trace id != the call's
+};
+
+TraceView ScanTrace(const obs::Tracer& tracer) {
+  TraceView v;
+  for (const obs::TraceRecord& r : tracer.records()) {
+    if (r.phase == obs::TracePhase::kSpanBegin && r.name == "rpc.call") {
+      v.call_begins++;
+      v.trace_id = r.trace_id;
+      v.call_span = r.id;
+    }
+  }
+  for (const obs::TraceRecord& r : tracer.records()) {
+    if (r.phase == obs::TracePhase::kSpanBegin && r.name == "rpc.handler") {
+      v.handler_begins++;
+      v.handler_parent = r.parent_id;
+      v.handler_trace = r.trace_id;
+    }
+    if (r.name == "rpc.retransmit") {
+      v.retransmit_instants++;
+      if (r.trace_id == v.trace_id) v.retransmits_in_trace++;
+    }
+    if (r.trace_id != 0 && r.trace_id != v.trace_id) v.foreign_records++;
+  }
+  return v;
+}
+
+TEST_F(ProtocolTest, TraceSurvivesFragmentationBeyondCreditWindow) {
+  sim_.tracer().set_enabled(true);
+  // 256 KiB fragments into ~64 packets against a credit window of 8, so
+  // the message crosses several credit-stall/return rounds.
+  ASSERT_TRUE(OneCall(256 * 1024).ok());
+  EXPECT_GT(client_->stats().credit_stalls, 0u);
+  TraceView v = ScanTrace(sim_.tracer());
+  EXPECT_EQ(v.call_begins, 1u);
+  ASSERT_NE(v.trace_id, 0u);
+  // The handler ran once, causally under the client's call span, in the
+  // same trace -- the context survived reassembly of every fragment.
+  EXPECT_EQ(v.handler_begins, 1u);
+  EXPECT_EQ(v.handler_trace, v.trace_id);
+  EXPECT_EQ(v.handler_parent, v.call_span);
+  // Nothing recorded under a different (phantom) trace id.
+  EXPECT_EQ(v.foreign_records, 0u);
+  EXPECT_EQ(sim_.tracer().open_span_count(), 0u);
+}
+
+TEST_F(ProtocolTest, TraceSurvivesRetransmission) {
+  sim_.tracer().set_enabled(true);
+  int dropped = 0;
+  fabric_.set_drop_filter([&](const net::Packet& pkt) {
+    PacketHeader hdr = Peek(pkt);
+    if (hdr.msg_type == MsgType::kRequest && dropped < 3) {
+      dropped++;
+      return true;
+    }
+    return false;
+  });
+  ASSERT_TRUE(OneCall(10000).ok());
+  EXPECT_EQ(dropped, 3);
+  EXPECT_EQ(server_->stats().requests_handled, 1u);
+  TraceView v = ScanTrace(sim_.tracer());
+  ASSERT_NE(v.trace_id, 0u);
+  // Retransmitted packets carry the original request's context: the
+  // retransmit instants land on the trace, and the (single) handler
+  // execution is still parented under the call span.
+  EXPECT_GE(v.retransmit_instants, 1u);
+  EXPECT_EQ(v.retransmits_in_trace, v.retransmit_instants);
+  EXPECT_EQ(v.handler_begins, 1u);
+  EXPECT_EQ(v.handler_trace, v.trace_id);
+  EXPECT_EQ(v.handler_parent, v.call_span);
+  EXPECT_EQ(v.foreign_records, 0u);
+  EXPECT_EQ(sim_.tracer().open_span_count(), 0u);
+}
+
+TEST_F(ProtocolTest, TraceSurvivesLinkOutageMidRequest) {
+  sim_.tracer().set_enabled(true);
+  // The server's uplink goes dark shortly after the run starts -- mid
+  // request, before any response packet can get back -- and stays down
+  // for two RTOs. The client retransmits into the outage; the request
+  // completes after the link heals.
+  fault::FaultInjector injector(&fabric_);
+  fault::FaultPlan plan;
+  plan.LinkOutage(/*node=*/1, net::LinkDir::kUplink,
+                  /*start_ns=*/50 * kMicrosecond,
+                  /*end_ns=*/4500 * kMicrosecond);
+  injector.Schedule(plan);
+  ASSERT_TRUE(OneCall(10000).ok());
+  EXPECT_EQ(server_->stats().requests_handled, 1u);
+  TraceView v = ScanTrace(sim_.tracer());
+  ASSERT_NE(v.trace_id, 0u);
+  EXPECT_EQ(v.handler_begins, 1u);
+  EXPECT_EQ(v.handler_trace, v.trace_id);
+  EXPECT_EQ(v.handler_parent, v.call_span);
+  EXPECT_EQ(v.foreign_records, 0u);
+  EXPECT_EQ(sim_.tracer().open_span_count(), 0u);
+}
+
+// ---- PacketHeader decode hardening -------------------------------------
+//
+// DecodeFrom parses attacker-controlled bytes, so it must be total: any
+// input either decodes or returns false, with no read past `len`. The
+// buffers below are heap allocations of exactly `len` bytes so an
+// out-of-bounds read trips ASan rather than silently passing.
+
+/// A fully populated header (every field distinguishable from zero).
+PacketHeader SampleHeader() {
+  PacketHeader hdr;
+  hdr.msg_type = MsgType::kRequest;
+  hdr.req_type = 9;
+  hdr.session_id = 0x1234;
+  hdr.pkt_idx = 3;
+  hdr.num_pkts = 7;
+  hdr.req_id = 0x1122334455667788ull;
+  hdr.msg_size = 0xABCDEF01u;
+  hdr.set_trace_context(
+      obs::TraceContext{0xDEADBEEFCAFEF00Dull, 0x0102030405060708ull,
+                        obs::TraceContext::kSampled});
+  return hdr;
+}
+
+TEST(PacketHeaderDecode, RoundTripPreservesEveryField) {
+  PacketHeader hdr = SampleHeader();
+  std::vector<uint8_t> buf(PacketHeader::kWireBytes);
+  hdr.EncodeTo(buf.data());
+  PacketHeader out;
+  ASSERT_TRUE(out.DecodeFrom(buf.data(), buf.size()));
+  EXPECT_EQ(out.msg_type, hdr.msg_type);
+  EXPECT_EQ(out.req_type, hdr.req_type);
+  EXPECT_EQ(out.session_id, hdr.session_id);
+  EXPECT_EQ(out.pkt_idx, hdr.pkt_idx);
+  EXPECT_EQ(out.num_pkts, hdr.num_pkts);
+  EXPECT_EQ(out.req_id, hdr.req_id);
+  EXPECT_EQ(out.msg_size, hdr.msg_size);
+  EXPECT_EQ(out.trace_context(), hdr.trace_context());
+}
+
+TEST(PacketHeaderDecode, RejectsEveryTruncatedLength) {
+  PacketHeader hdr = SampleHeader();
+  std::vector<uint8_t> full(PacketHeader::kWireBytes);
+  hdr.EncodeTo(full.data());
+  for (size_t len = 0; len < PacketHeader::kWireBytes; ++len) {
+    // Exact-size allocation: a read past `len` is a heap overflow.
+    std::vector<uint8_t> buf(full.begin(),
+                             full.begin() + static_cast<ptrdiff_t>(len));
+    PacketHeader out;
+    EXPECT_FALSE(out.DecodeFrom(buf.data(), len)) << "len=" << len;
+  }
+}
+
+TEST(PacketHeaderDecode, RejectsBadMagic) {
+  PacketHeader hdr = SampleHeader();
+  std::vector<uint8_t> buf(PacketHeader::kWireBytes);
+  hdr.EncodeTo(buf.data());
+  for (int byte = 0; byte < 2; ++byte) {
+    std::vector<uint8_t> bad = buf;
+    bad[static_cast<size_t>(byte)] ^= 0x5A;
+    PacketHeader out;
+    EXPECT_FALSE(out.DecodeFrom(bad.data(), bad.size()));
+  }
+}
+
+TEST(PacketHeaderDecode, AcceptsExactlyTheDefinedTraceFlagBits) {
+  PacketHeader hdr = SampleHeader();
+  std::vector<uint8_t> buf(PacketHeader::kWireBytes);
+  for (int flags = 0; flags < 256; ++flags) {
+    hdr.trace_flags = static_cast<uint8_t>(flags);
+    hdr.EncodeTo(buf.data());
+    PacketHeader out;
+    bool defined_only =
+        (flags & ~obs::TraceContext::kValidFlags) == 0;
+    EXPECT_EQ(out.DecodeFrom(buf.data(), buf.size()), defined_only)
+        << "flags=" << flags;
+    if (defined_only) {
+      EXPECT_EQ(out.trace_flags, static_cast<uint8_t>(flags));
+    }
+  }
+}
+
+TEST(PacketHeaderDecode, RandomMutationsNeverReadOutOfBounds) {
+  PacketHeader hdr = SampleHeader();
+  std::vector<uint8_t> base(PacketHeader::kWireBytes);
+  hdr.EncodeTo(base.data());
+  Rng rng(0xF00DFACE, 3);
+  for (int i = 0; i < 20000; ++i) {
+    // Mutate 1..4 bytes of a valid encoding, sometimes truncating too.
+    std::vector<uint8_t> buf = base;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t at = rng.Uniform(static_cast<uint32_t>(buf.size()));
+      buf[at] = static_cast<uint8_t>(rng.Next());
+    }
+    size_t len = buf.size();
+    if (rng.Bernoulli(0.25)) {
+      len = rng.Uniform(static_cast<uint32_t>(buf.size() + 1));
+      buf.resize(len);  // exact-size: OOB reads are heap overflows
+      buf.shrink_to_fit();
+    }
+    PacketHeader out;
+    // Must not crash or over-read; the verdict itself is input-defined.
+    bool ok = out.DecodeFrom(buf.data(), len);
+    if (ok) {
+      // Anything DecodeFrom accepts satisfies the decode invariants.
+      EXPECT_EQ(out.magic, PacketHeader::kMagic);
+      EXPECT_EQ(out.trace_flags & ~obs::TraceContext::kValidFlags, 0);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace dmrpc::rpc
