@@ -1,0 +1,186 @@
+// Raw-fabric microbenchmarks for the Clos topology, no RPC stack on top:
+//
+//   1. ECMP spread: how evenly the deterministic flow hash balances
+//      random inter-leaf flows over the spines (and a symmetry check --
+//      every reverse flow must pin the same spine as its forward flow).
+//   2. Incast: every other host blasts packets at one victim host; the
+//      victim's leaf down-port queue fills, overflow drops are counted
+//      under queue_full, and the high-water depths per port tier are
+//      reported. This is the isolated view of the congestion signal the
+//      scale_sweep curves show end to end.
+//
+// Flags: --hosts=N --spines=N --leaves=N --queue=N --seed=N
+//        --flows=N (spread sample count) --burst=N (incast pkts/sender)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::bench {
+namespace {
+
+struct Options {
+  uint32_t hosts = 96;
+  uint32_t spines = 4;
+  uint32_t leaves = 8;
+  uint32_t queue = 64;
+  uint64_t seed = 42;
+  uint32_t flows = 100000;
+  uint32_t burst = 64;
+};
+
+net::Packet MakePacket(net::NodeId src, net::NodeId dst, net::Port sport,
+                       net::Port dport, size_t bytes) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.payload.assign(bytes, 0xab);
+  return p;
+}
+
+void EcmpSpread(const Options& opt) {
+  sim::Simulation sim(opt.seed);
+  net::TopologyConfig topo =
+      net::TopologyConfig::Clos(opt.hosts, opt.spines, opt.leaves, opt.queue);
+  net::Fabric fabric(&sim, net::NetworkConfig{}, topo);
+
+  Rng rng(opt.seed, 99);
+  std::vector<uint64_t> per_spine(opt.spines, 0);
+  uint64_t sampled = 0, asymmetric = 0;
+  while (sampled < opt.flows) {
+    auto src = static_cast<net::NodeId>(rng.Uniform(opt.hosts));
+    auto dst = static_cast<net::NodeId>(rng.Uniform(opt.hosts));
+    auto sp = static_cast<net::Port>(1 + rng.Uniform(60000));
+    auto dp = static_cast<net::Port>(1 + rng.Uniform(60000));
+    if (topo.LeafOf(src) == topo.LeafOf(dst)) continue;  // no spine hop
+    net::SwitchId fwd = fabric.SpineForFlow(src, sp, dst, dp);
+    net::SwitchId rev = fabric.SpineForFlow(dst, dp, src, sp);
+    if (fwd != rev) asymmetric++;
+    per_spine[fwd - topo.FirstSpine()]++;
+    sampled++;
+  }
+
+  uint64_t lo = per_spine[0], hi = per_spine[0];
+  for (uint64_t c : per_spine) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  double ideal = static_cast<double>(sampled) / opt.spines;
+  Table table("ECMP spread over " + std::to_string(opt.spines) + " spines (" +
+                  std::to_string(sampled) + " inter-leaf flows)",
+              {"spine", "flows", "vs-ideal-%"});
+  for (uint32_t s = 0; s < opt.spines; ++s) {
+    table.AddRow({Table::Int(s), Table::Int(per_spine[s]),
+                  Table::Num(100.0 * per_spine[s] / ideal - 100.0, 2)});
+  }
+  table.Print();
+  std::printf("imbalance (max/min): %.4f   asymmetric flows: %" PRIu64 "\n",
+              static_cast<double>(hi) / static_cast<double>(lo), asymmetric);
+  if (asymmetric != 0) {
+    LOG_FATAL << "ECMP symmetry violated for " << asymmetric << " flows";
+  }
+}
+
+void Incast(const Options& opt) {
+  sim::Simulation sim(opt.seed);
+  BenchObs::Arm(&sim);
+  net::TopologyConfig topo =
+      net::TopologyConfig::Clos(opt.hosts, opt.spines, opt.leaves, opt.queue);
+  net::Fabric fabric(&sim, net::NetworkConfig{}, topo);
+
+  const net::NodeId victim = 0;
+  sim::Channel<net::Packet> inbox;
+  fabric.nic(victim)->BindPort(80, &inbox);
+  uint64_t sent = 0;
+  for (net::NodeId n = 1; n < opt.hosts; ++n) {
+    sim.At(0, [&fabric, &opt, n, &sent] {
+      for (uint32_t k = 0; k < opt.burst; ++k) {
+        fabric.nic(n)->Send(MakePacket(n, 0, 100, 80, 1024));
+        sent++;
+      }
+    });
+  }
+  sim.Run();
+
+  uint64_t delivered = 0;
+  while (inbox.TryPop().has_value()) delivered++;
+  const net::SwitchStats& st = fabric.switch_stats();
+
+  uint32_t max_down = 0, max_up = 0, max_spine = 0;
+  for (const net::PortStat& ps : fabric.PortStats()) {
+    uint32_t hpl = topo.HostsPerLeaf();
+    if (ps.is_spine) {
+      max_spine = std::max(max_spine, ps.max_depth);
+    } else if (ps.port < hpl) {
+      max_down = std::max(max_down, ps.max_depth);
+    } else {
+      max_up = std::max(max_up, ps.max_depth);
+    }
+  }
+
+  Table table("Incast: " + std::to_string(opt.hosts - 1) + " senders x " +
+                  std::to_string(opt.burst) + " pkts -> host 0 (queue " +
+                  std::to_string(opt.queue) + ")",
+              {"sent", "delivered", "drop-full", "max-leaf-down", "max-leaf-up",
+               "max-spine"});
+  table.AddRow({Table::Int(sent), Table::Int(delivered),
+                Table::Int(st.dropped_queue_full), Table::Int(max_down),
+                Table::Int(max_up), Table::Int(max_spine)});
+  table.Print();
+  if (delivered + st.dropped_queue_full != sent) {
+    LOG_FATAL << "incast accounting leak: " << sent << " sent, " << delivered
+              << " delivered, " << st.dropped_queue_full << " dropped";
+  }
+  BenchObs::Record("incast", &sim);
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto val = [&](const char* flag) -> const char* {
+      size_t n = std::strlen(flag);
+      if (std::strncmp(a, flag, n) == 0 && a[n] == '=') return a + n + 1;
+      return nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = val("--hosts")) != nullptr) {
+      opt.hosts = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--spines")) != nullptr) {
+      opt.spines = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--leaves")) != nullptr) {
+      opt.leaves = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--queue")) != nullptr) {
+      opt.queue = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--seed")) != nullptr) {
+      opt.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = val("--flows")) != nullptr) {
+      opt.flows = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = val("--burst")) != nullptr) {
+      opt.burst = static_cast<uint32_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return 2;
+    }
+  }
+  EcmpSpread(opt);
+  Incast(opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmrpc::bench
+
+int main(int argc, char** argv) { return dmrpc::bench::Main(argc, argv); }

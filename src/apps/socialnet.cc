@@ -42,31 +42,47 @@ void InstallMover(ServiceEndpoint* ep, rpc::ReqType my_type,
         co_return std::move(*resp);
       });
 }
+
+/// Rng stream for one app instance. The historical "sn-" cell keeps the
+/// historical stream (7) so pre-prefix experiments stay bit-identical;
+/// every other prefix gets its own FNV-derived stream, so co-deployed
+/// cells draw distinct (but per-seed deterministic) workload mixes.
+uint64_t PrefixStream(const std::string& prefix) {
+  if (prefix == "sn-") return 7;
+  uint64_t h = 14695981039346656037ull;
+  for (char c : prefix) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 }  // namespace
 
 SocialNetApp::SocialNetApp(msvc::Cluster* cluster,
                            const std::vector<net::NodeId>& nodes,
                            SocialNetConfig cfg)
-    : cluster_(cluster), cfg_(cfg), rng_(0x50c1a1, 7) {
+    : cluster_(cluster),
+      cfg_(std::move(cfg)),
+      rng_(0x50c1a1, PrefixStream(cfg_.service_prefix)) {
   DMRPC_CHECK_GE(nodes.size(), 1u);
   auto node_of = [&](size_t i) { return nodes[i % nodes.size()]; };
 
   // Front tier (data movers) on the first server.
-  ServiceEndpoint* lb = cluster->AddService("sn-lb", node_of(0), 9300, 1);
+  ServiceEndpoint* lb = cluster->AddService(Svc("lb"), node_of(0), 9300, 1);
   ServiceEndpoint* proxy =
-      cluster->AddService("sn-proxy", node_of(0), 9301, 1);
+      cluster->AddService(Svc("proxy"), node_of(0), 9301, 1);
   // Logic tier on the second server.
-  ServiceEndpoint* php = cluster->AddService("sn-php", node_of(1), 9302, 2);
+  ServiceEndpoint* php = cluster->AddService(Svc("php"), node_of(1), 9302, 2);
   ServiceEndpoint* compose =
-      cluster->AddService("sn-compose", node_of(1), 9303, 2);
+      cluster->AddService(Svc("compose"), node_of(1), 9303, 2);
   ServiceEndpoint* router =
-      cluster->AddService("sn-router", node_of(1), 9304, 1);
-  cluster->AddService("sn-uniqueid", node_of(1), 9305, 1);
-  cluster->AddService("sn-socialgraph", node_of(1), 9306, 1);
+      cluster->AddService(Svc("router"), node_of(1), 9304, 1);
+  cluster->AddService(Svc("uniqueid"), node_of(1), 9305, 1);
+  cluster->AddService(Svc("socialgraph"), node_of(1), 9306, 1);
   // Storage tier on the third server.
-  cluster->AddService("sn-hometl", node_of(2), 9307, 2);
-  cluster->AddService("sn-usertl", node_of(2), 9308, 2);
-  post_storage_ = cluster->AddService("sn-poststore", node_of(2), 9309, 2);
+  cluster->AddService(Svc("hometl"), node_of(2), 9307, 2);
+  cluster->AddService(Svc("usertl"), node_of(2), 9308, 2);
+  post_storage_ = cluster->AddService(Svc("poststore"), node_of(2), 9309, 2);
 
   // Static social graph: each user follows `followers_per_user` others.
   for (uint32_t u = 0; u < cfg_.num_users; ++u) {
@@ -88,15 +104,16 @@ SocialNetApp::SocialNetApp(msvc::Cluster* cluster,
 }
 
 void SocialNetApp::InstallMovers() {
-  InstallMover(cluster_->service("sn-lb"), kLb, "sn-proxy", kProxy, 120);
-  InstallMover(cluster_->service("sn-proxy"), kProxy, "sn-php", kPhp, 150);
-  InstallMover(cluster_->service("sn-router"), kRouter, "sn-usertl",
+  InstallMover(cluster_->service(Svc("lb")), kLb, Svc("proxy"), kProxy, 120);
+  InstallMover(cluster_->service(Svc("proxy")), kProxy, Svc("php"), kPhp, 150);
+  InstallMover(cluster_->service(Svc("router")), kRouter, Svc("usertl"),
                kUserTimeline, 120);
 
   // php-fpm parses only the request kind and dispatches.
-  ServiceEndpoint* php = cluster_->service("sn-php");
+  ServiceEndpoint* php = cluster_->service(Svc("php"));
   php->RegisterHandler(
-      kPhp, [php](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
+      kPhp,
+      [this, php](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
         ReqKind kind = static_cast<ReqKind>(req.Read<uint8_t>());
         req.SeekTo(0);
         co_await php->Compute(400);  // request parsing / routing
@@ -104,15 +121,15 @@ void SocialNetApp::InstallMovers() {
         StatusOr<MsgBuffer> resp = Status::Internal("unrouted");
         switch (kind) {
           case ReqKind::kComposePost:
-            resp = co_await php->CallService("sn-compose", kCompose,
+            resp = co_await php->CallService(Svc("compose"), kCompose,
                                              std::move(req));
             break;
           case ReqKind::kReadHome:
-            resp = co_await php->CallService("sn-hometl", kHomeTimeline,
+            resp = co_await php->CallService(Svc("hometl"), kHomeTimeline,
                                              std::move(req));
             break;
           case ReqKind::kReadUser:
-            resp = co_await php->CallService("sn-router", kRouter,
+            resp = co_await php->CallService(Svc("router"), kRouter,
                                              std::move(req));
             break;
         }
@@ -123,7 +140,7 @@ void SocialNetApp::InstallMovers() {
 }
 
 void SocialNetApp::InstallMetadataServices() {
-  ServiceEndpoint* uid = cluster_->service("sn-uniqueid");
+  ServiceEndpoint* uid = cluster_->service(Svc("uniqueid"));
   uid->RegisterHandler(
       kUniqueId,
       [this, uid](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
@@ -134,7 +151,7 @@ void SocialNetApp::InstallMetadataServices() {
         co_return resp;
       });
 
-  ServiceEndpoint* graph = cluster_->service("sn-socialgraph");
+  ServiceEndpoint* graph = cluster_->service(Svc("socialgraph"));
   graph->RegisterHandler(
       kSocialGraph,
       [this, graph](ReqContext ctx, MsgBuffer req) -> sim::Task<MsgBuffer> {
@@ -161,7 +178,7 @@ void SocialNetApp::InstallCompose(ServiceEndpoint* ep) {
         // Post id from the unique-id service.
         MsgBuffer uid_req;
         auto uid_resp =
-            co_await ep->CallService("sn-uniqueid", kUniqueId,
+            co_await ep->CallService(Svc("uniqueid"), kUniqueId,
                                      std::move(uid_req));
         if (!uid_resp.ok() || uid_resp->Read<uint8_t>() != 0) {
           co_return ErrorResp();
@@ -171,7 +188,7 @@ void SocialNetApp::InstallCompose(ServiceEndpoint* ep) {
         // Followers from the social graph.
         MsgBuffer g_req;
         g_req.Append<uint32_t>(user);
-        auto g_resp = co_await ep->CallService("sn-socialgraph", kSocialGraph,
+        auto g_resp = co_await ep->CallService(Svc("socialgraph"), kSocialGraph,
                                                std::move(g_req));
         if (!g_resp.ok() || g_resp->Read<uint8_t>() != 0) {
           co_return ErrorResp();
@@ -187,7 +204,7 @@ void SocialNetApp::InstallCompose(ServiceEndpoint* ep) {
         store_req.Append<uint64_t>(post_id);
         store_req.Append<uint32_t>(user);
         media.EncodeTo(&store_req);
-        auto s_resp = co_await ep->CallService("sn-poststore", kStorePost,
+        auto s_resp = co_await ep->CallService(Svc("poststore"), kStorePost,
                                                std::move(store_req));
         if (!s_resp.ok() || s_resp->Read<uint8_t>() != 0) {
           co_return ErrorResp();
@@ -210,9 +227,9 @@ void SocialNetApp::InstallCompose(ServiceEndpoint* ep) {
           fan->wg.Done();
         };
         fan->wg.Add(1 + static_cast<int>(followers.size()));
-        cluster_->simulation()->Spawn(update("sn-usertl", user, post_id));
+        cluster_->simulation()->Spawn(update(Svc("usertl"), user, post_id));
         for (uint32_t f : followers) {
-          cluster_->simulation()->Spawn(update("sn-hometl", f, post_id));
+          cluster_->simulation()->Spawn(update(Svc("hometl"), f, post_id));
         }
         co_await fan->wg.Wait();
         if (fan->failures > 0) co_return ErrorResp();
@@ -244,7 +261,7 @@ void SocialNetApp::InstallTimelines() {
           for (uint32_t i = 0; i < take; ++i) {
             fetch.Append<uint64_t>(ids[ids.size() - take + i]);
           }
-          auto resp = co_await ep->CallService("sn-poststore", kGetPosts,
+          auto resp = co_await ep->CallService(Svc("poststore"), kGetPosts,
                                                std::move(fetch));
           if (!resp.ok()) co_return ErrorResp();
           co_await ep->ForwardCost(resp->size());
@@ -266,8 +283,8 @@ void SocialNetApp::InstallTimelines() {
           co_return resp;
         });
   };
-  install_read("sn-hometl", kHomeTimeline, &home_timeline_);
-  install_read("sn-usertl", kUserTimeline, &user_timeline_);
+  install_read(Svc("hometl"), kHomeTimeline, &home_timeline_);
+  install_read(Svc("usertl"), kUserTimeline, &user_timeline_);
 }
 
 void SocialNetApp::InstallPostStorage(ServiceEndpoint* ep) {
@@ -378,7 +395,7 @@ sim::Task<StatusOr<uint64_t>> SocialNetApp::DoRequestInner(
     if (!payload.ok()) co_return payload.status();
     payload->EncodeTo(&req);
   }
-  auto resp = co_await client->CallService("sn-lb", kLb, std::move(req));
+  auto resp = co_await client->CallService(Svc("lb"), kLb, std::move(req));
   if (!resp.ok()) co_return resp.status();
   if (resp->Read<uint8_t>() != 0) {
     co_return Status::Internal("socialnet request failed");

@@ -34,6 +34,10 @@ struct SocialNetConfig {
   /// composed by a few users" (§VI-F). 0 = uniform; ~0.99 matches
   /// social-network access patterns.
   double read_zipf_skew = 0.99;
+  /// Prefix for every service name this app registers ("sn-" deploys the
+  /// historical names). Scale experiments deploy many independent cells
+  /// on one cluster by giving each a distinct prefix, e.g. "sn3-".
+  std::string service_prefix = "sn-";
 };
 
 /// DeathStarBench-style social network (§VI-F, Fig. 11), built as a
@@ -99,6 +103,8 @@ class SocialNetApp {
     core::Payload media;
   };
 
+  /// Prefixed service name, e.g. Svc("lb") == "sn-lb" by default.
+  std::string Svc(const char* base) const { return cfg_.service_prefix + base; }
   void InstallMovers();
   /// The request body; DoRequest wraps it in the root "app.request" span
   /// whose duration is the request's end-to-end latency.

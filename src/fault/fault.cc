@@ -82,6 +82,13 @@ FaultPlan& FaultPlan::NicDown(net::NodeId node, TimeNs start_ns,
   return *this;
 }
 
+FaultPlan& FaultPlan::SwitchOutage(net::SwitchId switch_id, TimeNs start_ns,
+                                   TimeNs end_ns) {
+  DMRPC_CHECK_LT(start_ns, end_ns) << "empty switch-outage window";
+  switch_downs.push_back(SwitchDown{switch_id, start_ns, end_ns});
+  return *this;
+}
+
 FaultPlan& FaultPlan::Crash(net::NodeId node, TimeNs crash_ns,
                             TimeNs restart_ns) {
   DMRPC_CHECK_LT(crash_ns, restart_ns) << "empty crash window";
@@ -98,6 +105,10 @@ FaultPlan& FaultPlan::ShiftBy(TimeNs delta_ns) {
     d.start_ns += delta_ns;
     d.end_ns += delta_ns;
   }
+  for (SwitchDown& s : switch_downs) {
+    s.start_ns += delta_ns;
+    s.end_ns += delta_ns;
+  }
   for (NodeCrash& c : crashes) {
     c.crash_ns += delta_ns;
     c.restart_ns += delta_ns;
@@ -109,6 +120,7 @@ TimeNs FaultPlan::EndTime() const {
   TimeNs end = 0;
   for (const PacketFault& f : packet_faults) end = std::max(end, f.end_ns);
   for (const LinkDown& d : link_downs) end = std::max(end, d.end_ns);
+  for (const SwitchDown& s : switch_downs) end = std::max(end, s.end_ns);
   for (const NodeCrash& c : crashes) end = std::max(end, c.restart_ns);
   return end;
 }
@@ -226,6 +238,16 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
     sim_->At(d.end_ns,
              [this, d] { SetLinkDown(d.node, d.dir, /*down=*/false); });
   }
+  for (const SwitchDown& s : plan.switch_downs) {
+    DMRPC_CHECK_GE(s.start_ns, now) << "switch outage starts in the past";
+    DMRPC_CHECK_LT(s.switch_id, fabric_->num_switches());
+    sim_->At(s.start_ns, [this, id = s.switch_id] {
+      SetSwitchDown(id, /*down=*/true);
+    });
+    sim_->At(s.end_ns, [this, id = s.switch_id] {
+      SetSwitchDown(id, /*down=*/false);
+    });
+  }
   for (const NodeCrash& c : plan.crashes) {
     DMRPC_CHECK_GE(c.crash_ns, now) << "crash scheduled in the past";
     DMRPC_CHECK_LT(c.node, links_.size());
@@ -246,6 +268,38 @@ void FaultInjector::SetLinkDown(net::NodeId node, net::LinkDir dir,
   } else {
     DMRPC_CHECK_GT(st.down_depth, 0) << "link up without matching down";
     st.down_depth--;
+  }
+}
+
+void FaultInjector::SetSwitchDown(net::SwitchId switch_id, bool down) {
+  if (switch_down_depth_.size() < fabric_->num_switches()) {
+    switch_down_depth_.resize(fabric_->num_switches(), 0);
+  }
+  int& depth = switch_down_depth_[switch_id];
+  if (down) {
+    depth++;
+    if (depth == 1) {
+      fabric_->SetSwitchUp(switch_id, false);
+      stats_.switch_outages++;
+      if (m_switch_outages_ == nullptr) {
+        m_switch_outages_ = sim_->metrics().GetCounter("fault.switch_outages");
+      }
+      m_switch_outages_->Inc();
+      if (sim_->tracer().enabled()) {
+        sim_->tracer().Instant("fault", "fault.switch_down", sim_->Now(),
+                               switch_id, "{}");
+      }
+    }
+  } else {
+    DMRPC_CHECK_GT(depth, 0) << "switch up without matching down";
+    depth--;
+    if (depth == 0) {
+      fabric_->SetSwitchUp(switch_id, true);
+      if (sim_->tracer().enabled()) {
+        sim_->tracer().Instant("fault", "fault.switch_up", sim_->Now(),
+                               switch_id, "{}");
+      }
+    }
   }
 }
 

@@ -49,6 +49,18 @@ struct LinkDown {
   TimeNs end_ns = 0;  // exclusive
 };
 
+/// A switch-outage window [start_ns, end_ns): the switch is down for the
+/// window, every packet arriving at it (or buffered on its ports) is
+/// dropped as DropReason::kOutage, and ECMP steers inter-leaf flows away
+/// from it while at least one spine lives (see Fabric::SetSwitchUp). On a
+/// single-ToR fabric the only valid switch_id is 0 (the whole rack goes
+/// dark).
+struct SwitchDown {
+  net::SwitchId switch_id = net::kInvalidSwitch;
+  TimeNs start_ns = 0;
+  TimeNs end_ns = 0;  // exclusive
+};
+
 /// A whole-node crash+restart window: both of the node's links go down at
 /// crash_ns and come back at restart_ns, and node listeners fire so upper
 /// layers model volatile-state loss (RPC session reset, DM lease
@@ -88,6 +100,7 @@ struct ChaosProfile {
 struct FaultPlan {
   std::vector<PacketFault> packet_faults;
   std::vector<LinkDown> link_downs;
+  std::vector<SwitchDown> switch_downs;
   std::vector<NodeCrash> crashes;
 
   FaultPlan& Fault(FaultKind kind, net::NodeId node, net::LinkDir dir,
@@ -108,6 +121,10 @@ struct FaultPlan {
                         TimeNs end_ns);
   /// Takes the whole NIC down (both link directions) for the window.
   FaultPlan& NicDown(net::NodeId node, TimeNs start_ns, TimeNs end_ns);
+  /// Takes a whole switch down for the window (leaf or spine by
+  /// net::SwitchId; spine outages reroute, leaf outages strand the rack).
+  FaultPlan& SwitchOutage(net::SwitchId switch_id, TimeNs start_ns,
+                          TimeNs end_ns);
   FaultPlan& Crash(net::NodeId node, TimeNs crash_ns, TimeNs restart_ns);
 
   /// Shifts every time in the plan forward by `delta_ns` (e.g. to place a
@@ -141,6 +158,7 @@ struct FaultStats {
   uint64_t reordered = 0;
   uint64_t crashes = 0;
   uint64_t restarts = 0;
+  uint64_t switch_outages = 0;
 };
 
 /// Deterministic fault-injection engine. Attaches to a Fabric as its
@@ -191,6 +209,7 @@ class FaultInjector final : public net::FaultHook {
   LinkState& link(net::NodeId node, net::LinkDir dir);
   const LinkState* link_if_known(net::NodeId node, net::LinkDir dir) const;
   void SetLinkDown(net::NodeId node, net::LinkDir dir, bool down);
+  void SetSwitchDown(net::SwitchId switch_id, bool down);
   void OnCrash(net::NodeId node);
   void OnRestart(net::NodeId node);
 
@@ -205,6 +224,8 @@ class FaultInjector final : public net::FaultHook {
   std::vector<std::unique_ptr<PacketFault>> rules_;
   /// Indexed [node][dir].
   std::vector<std::array<LinkState, 2>> links_;
+  /// Nested-outage depth per switch (>0 while any window covers it).
+  std::vector<int> switch_down_depth_;
   std::vector<bool> node_down_;
   std::vector<NodeListener> listeners_;
   FaultStats stats_;
@@ -215,6 +236,9 @@ class FaultInjector final : public net::FaultHook {
   obs::Counter* m_reordered_;
   obs::Counter* m_crashes_;
   obs::Counter* m_restarts_;
+  /// Registered lazily on the first switch outage so fabric-only plans
+  /// keep their pre-topology metrics dumps byte-identical.
+  obs::Counter* m_switch_outages_ = nullptr;
 };
 
 }  // namespace dmrpc::fault

@@ -14,6 +14,7 @@
 #include "dmnet/client.h"
 #include "dmnet/server.h"
 #include "net/fabric.h"
+#include "net/topology.h"
 #include "obs/metrics.h"
 #include "rpc/rpc.h"
 #include "sim/simulation.h"
@@ -45,6 +46,11 @@ struct ClusterConfig {
   uint32_t dm_frames = 1u << 16;
 
   net::NetworkConfig network;
+  /// Switch graph the hosts hang off. Defaults to the seed single-ToR
+  /// model; set kind = kClos (e.g. via TopologyConfig::Clos) for a
+  /// spine/leaf fabric. num_hosts is overridden with num_nodes at
+  /// construction so the two can never disagree.
+  net::TopologyConfig topology;
   mem::MemoryConfig memory;
   rpc::RpcConfig rpc;
   core::DmRpcConfig dmrpc;

@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -19,6 +20,24 @@ const char* TraceStageName(TraceStage stage) {
       return "dropped";
     case TraceStage::kDelivered:
       return "delivered";
+  }
+  return "?";
+}
+
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueFull:
+      return "queue_full";
+    case DropReason::kFcsBad:
+      return "fcs_bad";
+    case DropReason::kOutage:
+      return "outage";
+    case DropReason::kFault:
+      return "fault";
+    case DropReason::kLoss:
+      return "loss";
+    case DropReason::kUnknownDst:
+      return "unknown_dst";
   }
   return "?";
 }
@@ -50,22 +69,153 @@ void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
   trace_(ev);
 }
 
+obs::Counter* Fabric::DropReasonCounter(DropReason reason) {
+  int i = static_cast<int>(reason);
+  if (m_drop_reason_[i] == nullptr) {
+    m_drop_reason_[i] = sim_->metrics().GetCounter(
+        std::string("net.drop_reason.") + DropReasonName(reason));
+  }
+  return m_drop_reason_[i];
+}
+
+void Fabric::CountDrop(DropReason reason, const Packet& pkt) {
+  DropReasonCounter(reason)->Inc();
+  m_dropped_->Inc();
+  Trace(TraceStage::kDropped, pkt);
+}
+
 Fabric::Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
                uint32_t num_nodes)
-    : sim_(sim), cfg_(cfg) {
-  DMRPC_CHECK_GT(num_nodes, 0u);
+    : Fabric(sim, cfg, TopologyConfig::SingleTor(num_nodes)) {}
+
+Fabric::Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
+               const TopologyConfig& topo)
+    : sim_(sim), cfg_(cfg), topo_(topo) {
+  DMRPC_CHECK_GT(topo_.num_hosts, 0u);
   m_forwarded_ = sim_->metrics().GetCounter("net.switch.forwarded");
   m_dropped_ = sim_->metrics().GetCounter("net.switch.dropped");
-  nics_.reserve(num_nodes);
-  egress_queues_.reserve(num_nodes);
-  for (uint32_t i = 0; i < num_nodes; ++i) {
+  nics_.reserve(topo_.num_hosts);
+  if (topo_.kind == TopologyKind::kSingleTor) {
+    // The seed rack: this construction sequence (and the event/rng
+    // schedule it implies) must stay byte-identical to the pre-topology
+    // fabric.
+    egress_queues_.reserve(topo_.num_hosts);
+    for (uint32_t i = 0; i < topo_.num_hosts; ++i) {
+      nics_.push_back(std::make_unique<Nic>(sim_, this, i, cfg_));
+      egress_queues_.push_back(std::make_unique<sim::Channel<Packet>>());
+      sim_->Spawn(EgressPump(i));
+    }
+    return;
+  }
+  for (uint32_t i = 0; i < topo_.num_hosts; ++i) {
     nics_.push_back(std::make_unique<Nic>(sim_, this, i, cfg_));
-    egress_queues_.push_back(std::make_unique<sim::Channel<Packet>>());
-    sim_->Spawn(EgressPump(i));
+  }
+  BuildClos();
+}
+
+void Fabric::BuildClos() {
+  DMRPC_CHECK_GT(topo_.num_spines, 0u);
+  DMRPC_CHECK_GT(topo_.num_leaves, 0u);
+  DMRPC_CHECK_LE(topo_.num_leaves, topo_.num_hosts)
+      << "more leaves than hosts";
+  m_spine_hops_ = sim_->metrics().GetCounter("net.fabric.spine_hops");
+  m_leaf_local_ = sim_->metrics().GetCounter("net.fabric.leaf_local");
+  m_max_port_depth_ = sim_->metrics().GetGauge("net.fabric.max_port_depth");
+  uint32_t hpl = topo_.HostsPerLeaf();
+  uint32_t next_track = 1000;
+  switches_.resize(topo_.NumSwitches());
+  for (uint32_t l = 0; l < topo_.num_leaves; ++l) {
+    SwitchNode& sw = switches_[l];
+    sw.is_spine = false;
+    sw.index = l;
+    // Down-ports for every host slot (ragged tail slots exist but never
+    // see traffic), then one up-port per spine.
+    sw.ports.resize(hpl + topo_.num_spines);
+    for (auto& p : sw.ports) {
+      p = std::make_unique<PortQueue>();
+      p->track = next_track++;
+    }
+  }
+  for (uint32_t s = 0; s < topo_.num_spines; ++s) {
+    SwitchNode& sw = switches_[topo_.FirstSpine() + s];
+    sw.is_spine = true;
+    sw.index = s;
+    sw.ports.resize(topo_.num_leaves);
+    for (auto& p : sw.ports) {
+      p = std::make_unique<PortQueue>();
+      p->track = next_track++;
+    }
+  }
+  // Pumps spawn after the whole graph exists, in (switch, port) order, so
+  // same-instant wakeups resolve in a fixed order run over run.
+  for (SwitchId sw = 0; sw < switches_.size(); ++sw) {
+    for (uint32_t port = 0; port < switches_[sw].ports.size(); ++port) {
+      sim_->Spawn(ClosPortPump(sw, port));
+    }
   }
 }
 
+void Fabric::SetSwitchUp(SwitchId sw, bool up) {
+  DMRPC_CHECK_LT(sw, num_switches());
+  if (topo_.kind == TopologyKind::kSingleTor) {
+    tor_up_ = up;
+    return;
+  }
+  switches_[sw].up = up;
+}
+
+bool Fabric::switch_up(SwitchId sw) const {
+  DMRPC_CHECK_LT(sw, num_switches());
+  if (topo_.kind == TopologyKind::kSingleTor) return tor_up_;
+  return switches_[sw].up;
+}
+
+SwitchId Fabric::SpineForFlow(NodeId src, Port src_port, NodeId dst,
+                              Port dst_port) const {
+  DMRPC_CHECK(topo_.kind == TopologyKind::kClos);
+  uint32_t live = 0;
+  for (uint32_t s = 0; s < topo_.num_spines; ++s) {
+    if (switches_[topo_.FirstSpine() + s].up) live++;
+  }
+  if (live == 0) return kInvalidSwitch;
+  uint64_t h = EcmpFlowHash(src, src_port, dst, dst_port, topo_.ecmp_salt);
+  uint32_t pick = static_cast<uint32_t>(h % live);
+  for (uint32_t s = 0; s < topo_.num_spines; ++s) {
+    SwitchId id = topo_.FirstSpine() + s;
+    if (!switches_[id].up) continue;
+    if (pick == 0) return id;
+    pick--;
+  }
+  return kInvalidSwitch;  // unreachable
+}
+
+std::vector<PortStat> Fabric::PortStats() const {
+  std::vector<PortStat> out;
+  for (SwitchId sw = 0; sw < switches_.size(); ++sw) {
+    const SwitchNode& node = switches_[sw];
+    for (uint32_t port = 0; port < node.ports.size(); ++port) {
+      const PortQueue& pq = *node.ports[port];
+      PortStat stat;
+      stat.switch_id = sw;
+      stat.is_spine = node.is_spine;
+      stat.port = port;
+      stat.enqueued = pq.enqueued;
+      stat.dropped_full = pq.dropped_full;
+      stat.max_depth = pq.max_depth;
+      out.push_back(stat);
+    }
+  }
+  return out;
+}
+
 void Fabric::SendToSwitch(Packet pkt) {
+  if (topo_.kind == TopologyKind::kClos) {
+    // Cable from host to its leaf.
+    sim_->After(cfg_.link_propagation_ns, [this, p = std::move(pkt)]() mutable {
+      ClosHostIngress(std::move(p));
+    });
+    return;
+  }
   // Cable from host to switch.
   sim_->After(cfg_.link_propagation_ns,
               [this, p = std::move(pkt)]() mutable { SwitchIngress(std::move(p)); });
@@ -74,14 +224,17 @@ void Fabric::SendToSwitch(Packet pkt) {
 void Fabric::SwitchIngress(Packet pkt) {
   if (pkt.dst >= num_nodes()) {
     switch_stats_.dropped_unknown_dst++;
-    m_dropped_->Inc();
-    Trace(TraceStage::kDropped, pkt);
+    CountDrop(DropReason::kUnknownDst, pkt);
+    return;
+  }
+  if (!tor_up_) {
+    switch_stats_.dropped_switch_down++;
+    CountDrop(DropReason::kOutage, pkt);
     return;
   }
   if (drop_filter_ && drop_filter_(pkt)) {
     switch_stats_.dropped_loss++;
-    m_dropped_->Inc();
-    Trace(TraceStage::kDropped, pkt);
+    CountDrop(DropReason::kLoss, pkt);
     return;
   }
   // Legacy uniform-loss shim (kept ahead of the fault hook so existing
@@ -89,8 +242,7 @@ void Fabric::SwitchIngress(Packet pkt) {
   if (cfg_.loss_probability > 0.0 &&
       sim_->rng().Bernoulli(cfg_.loss_probability)) {
     switch_stats_.dropped_loss++;
-    m_dropped_->Inc();
-    Trace(TraceStage::kDropped, pkt);
+    CountDrop(DropReason::kLoss, pkt);
     return;
   }
   if (fault_hook_ != nullptr) {
@@ -142,17 +294,23 @@ Packet Fabric::ClonePacket(const Packet& pkt) {
 void Fabric::DropFaulted(const Packet& pkt, bool link_down) {
   if (link_down) {
     switch_stats_.dropped_link_down++;
+    CountDrop(DropReason::kOutage, pkt);
   } else {
     switch_stats_.dropped_fault++;
+    CountDrop(DropReason::kFault, pkt);
   }
-  m_dropped_->Inc();
-  Trace(TraceStage::kDropped, pkt);
 }
 
 sim::Task<> Fabric::EgressPump(NodeId port) {
   sim::Channel<Packet>* queue = egress_queues_[port].get();
   for (;;) {
     Packet pkt = co_await queue->Pop();
+    if (!tor_up_) {
+      // The switch lost power with this packet buffered.
+      switch_stats_.dropped_switch_down++;
+      CountDrop(DropReason::kOutage, pkt);
+      continue;
+    }
     // The egress port is occupied only while the packet serializes onto
     // the cable; the forwarding-pipeline latency and propagation delay
     // are pipelined (they add delivery delay, not port occupancy).
@@ -175,6 +333,193 @@ sim::Task<> Fabric::EgressPump(NodeId port) {
     TimeNs extra = 0;
     if (fault_hook_ != nullptr) {
       // Downlink traversal: the receiver's switch->host cable.
+      if (!fault_hook_->IsLinkUp(dst, LinkDir::kDownlink)) {
+        DropFaulted(pkt, /*link_down=*/true);
+        continue;
+      }
+      FaultAction act = fault_hook_->OnPacket(dst, LinkDir::kDownlink, pkt);
+      if (act.drop) {
+        DropFaulted(pkt, /*link_down=*/false);
+        continue;
+      }
+      if (act.duplicate) {
+        switch_stats_.duplicated_fault++;
+        sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+                    [this, dst, p = ClonePacket(pkt)]() mutable {
+                      Trace(TraceStage::kDelivered, p);
+                      nics_[dst]->Deliver(std::move(p));
+                    });
+      }
+      extra = act.extra_delay_ns;
+    }
+    sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns + extra,
+                [this, dst, p = std::move(pkt)]() mutable {
+                  Trace(TraceStage::kDelivered, p);
+                  nics_[dst]->Deliver(std::move(p));
+                });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clos path
+// ---------------------------------------------------------------------------
+
+void Fabric::ClosHostIngress(Packet pkt) {
+  uint32_t leaf = topo_.LeafOf(pkt.src);
+  if (pkt.dst >= num_nodes()) {
+    switch_stats_.dropped_unknown_dst++;
+    CountDrop(DropReason::kUnknownDst, pkt);
+    return;
+  }
+  if (drop_filter_ && drop_filter_(pkt)) {
+    switch_stats_.dropped_loss++;
+    CountDrop(DropReason::kLoss, pkt);
+    return;
+  }
+  if (cfg_.loss_probability > 0.0 &&
+      sim_->rng().Bernoulli(cfg_.loss_probability)) {
+    switch_stats_.dropped_loss++;
+    CountDrop(DropReason::kLoss, pkt);
+    return;
+  }
+  if (fault_hook_ != nullptr) {
+    // Uplink traversal: the sender's host->leaf cable.
+    if (!fault_hook_->IsLinkUp(pkt.src, LinkDir::kUplink)) {
+      DropFaulted(pkt, /*link_down=*/true);
+      return;
+    }
+    FaultAction act = fault_hook_->OnPacket(pkt.src, LinkDir::kUplink, pkt);
+    if (act.drop) {
+      DropFaulted(pkt, /*link_down=*/false);
+      return;
+    }
+    if (act.duplicate) {
+      switch_stats_.duplicated_fault++;
+      ClosRouteAtLeaf(leaf, ClonePacket(pkt));
+    }
+    if (act.extra_delay_ns > 0) {
+      sim_->After(act.extra_delay_ns,
+                  [this, leaf, p = std::move(pkt)]() mutable {
+                    ClosRouteAtLeaf(leaf, std::move(p));
+                  });
+      return;
+    }
+  }
+  ClosRouteAtLeaf(leaf, std::move(pkt));
+}
+
+void Fabric::ClosRouteAtLeaf(uint32_t leaf, Packet pkt) {
+  if (!switches_[leaf].up) {
+    switch_stats_.dropped_switch_down++;
+    CountDrop(DropReason::kOutage, pkt);
+    return;
+  }
+  uint32_t dst_leaf = topo_.LeafOf(pkt.dst);
+  if (dst_leaf == leaf) {
+    m_leaf_local_->Inc();
+    ClosEnqueue(leaf, pkt.dst % topo_.HostsPerLeaf(), std::move(pkt));
+    return;
+  }
+  SwitchId spine = SpineForFlow(pkt.src, pkt.src_port, pkt.dst, pkt.dst_port);
+  if (spine == kInvalidSwitch) {
+    // Every spine is down: the leaf has no route out.
+    switch_stats_.dropped_switch_down++;
+    CountDrop(DropReason::kOutage, pkt);
+    return;
+  }
+  uint32_t up_port =
+      topo_.HostsPerLeaf() + (spine - topo_.FirstSpine());
+  ClosEnqueue(leaf, up_port, std::move(pkt));
+}
+
+void Fabric::ClosSpineIngress(uint32_t spine, Packet pkt) {
+  SwitchId sw = topo_.FirstSpine() + spine;
+  if (!switches_[sw].up) {
+    switch_stats_.dropped_switch_down++;
+    CountDrop(DropReason::kOutage, pkt);
+    return;
+  }
+  m_spine_hops_->Inc();
+  ClosEnqueue(sw, topo_.LeafOf(pkt.dst), std::move(pkt));
+}
+
+void Fabric::ClosLeafFromSpine(uint32_t leaf, Packet pkt) {
+  if (!switches_[leaf].up) {
+    switch_stats_.dropped_switch_down++;
+    CountDrop(DropReason::kOutage, pkt);
+    return;
+  }
+  ClosEnqueue(leaf, pkt.dst % topo_.HostsPerLeaf(), std::move(pkt));
+}
+
+void Fabric::ClosEnqueue(SwitchId sw, uint32_t port, Packet pkt) {
+  PortQueue& pq = *switches_[sw].ports[port];
+  if (topo_.port_queue_packets > 0 && pq.depth >= topo_.port_queue_packets) {
+    pq.dropped_full++;
+    switch_stats_.dropped_queue_full++;
+    CountDrop(DropReason::kQueueFull, pkt);
+    return;
+  }
+  pq.depth++;
+  pq.enqueued++;
+  if (pq.depth > pq.max_depth) {
+    pq.max_depth = pq.depth;
+    if (pq.depth > max_port_depth_) {
+      max_port_depth_ = pq.depth;
+      m_max_port_depth_->Set(max_port_depth_);
+    }
+  }
+  pq.queue.Push(std::move(pkt));
+}
+
+sim::Task<> Fabric::ClosPortPump(SwitchId sw, uint32_t port) {
+  SwitchNode* node = &switches_[sw];
+  PortQueue* pq = node->ports[port].get();
+  bool to_host = !node->is_spine && port < topo_.HostsPerLeaf();
+  for (;;) {
+    Packet pkt = co_await pq->queue.Pop();
+    if (!node->up) {
+      // The switch lost power with this packet buffered.
+      pq->depth--;
+      switch_stats_.dropped_switch_down++;
+      CountDrop(DropReason::kOutage, pkt);
+      continue;
+    }
+    TimeNs serialize =
+        TransferNs(cfg_.WireBytes(pkt.payload_size()), cfg_.bytes_per_ns());
+    uint64_t span = 0;
+    if (sim_->tracer().enabled()) {
+      span = sim_->tracer().BeginSpan(
+          pkt.trace, "net", "net.switch_egress", sim_->Now(), pq->track,
+          "{\"pkt\":" + std::to_string(pkt.id) + "}");
+    }
+    co_await sim::Delay(serialize);
+    sim_->tracer().EndSpan(span, sim_->Now());
+    pq->depth--;
+    switch_stats_.forwarded++;
+    m_forwarded_->Inc();
+    Trace(TraceStage::kForwarded, pkt);
+    if (!to_host) {
+      // Inter-switch hop: forwarding latency + cable to the next switch.
+      if (node->is_spine) {
+        uint32_t leaf = port;
+        sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+                    [this, leaf, p = std::move(pkt)]() mutable {
+                      ClosLeafFromSpine(leaf, std::move(p));
+                    });
+      } else {
+        uint32_t spine = port - topo_.HostsPerLeaf();
+        sim_->After(cfg_.switch_latency_ns + cfg_.link_propagation_ns,
+                    [this, spine, p = std::move(pkt)]() mutable {
+                      ClosSpineIngress(spine, std::move(p));
+                    });
+      }
+      continue;
+    }
+    // Final hop: the receiver's leaf->host cable.
+    NodeId dst = pkt.dst;
+    TimeNs extra = 0;
+    if (fault_hook_ != nullptr) {
       if (!fault_hook_->IsLinkUp(dst, LinkDir::kDownlink)) {
         DropFaulted(pkt, /*link_down=*/true);
         continue;

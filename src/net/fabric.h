@@ -10,13 +10,16 @@
 #include "net/fault_hook.h"
 #include "net/nic.h"
 #include "net/packet.h"
+#include "net/topology.h"
 #include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/simulation.h"
 
 namespace dmrpc::net {
 
-/// Per-switch counters.
+inline constexpr SwitchId kInvalidSwitch = 0xffffffff;
+
+/// Fabric-wide counters, aggregated over every switch in the topology.
 struct SwitchStats {
   uint64_t forwarded = 0;
   uint64_t dropped_loss = 0;
@@ -25,15 +28,36 @@ struct SwitchStats {
   uint64_t dropped_fault = 0;
   /// Packets discarded because their uplink or downlink was down.
   uint64_t dropped_link_down = 0;
+  /// Packets discarded because a finite egress port queue was full.
+  uint64_t dropped_queue_full = 0;
+  /// Packets discarded because a switch on their path was down.
+  uint64_t dropped_switch_down = 0;
   /// Extra copies created by duplication faults.
   uint64_t duplicated_fault = 0;
 };
+
+/// Why the fabric (or the receiving NIC) discarded a packet. Each reason
+/// owns a distinct `net.drop_reason.<name>` counter, registered lazily on
+/// the first drop of that kind so drop-free runs dump byte-identical
+/// metrics to the pre-reason era.
+enum class DropReason : uint8_t {
+  kQueueFull = 0,   // finite egress port queue overflowed
+  kFcsBad = 1,      // corrupted frame failed the NIC FCS check
+  kOutage = 2,      // link or switch administratively down
+  kFault = 3,       // fault-injection rule said drop
+  kLoss = 4,        // uniform loss shim or test drop filter
+  kUnknownDst = 5,  // destination outside the fabric
+};
+
+inline constexpr int kNumDropReasons = 6;
+
+const char* DropReasonName(DropReason reason);
 
 /// Stages of a packet's life, in order, as reported to a trace sink.
 enum class TraceStage : uint8_t {
   kNicTx = 0,     // accepted by the sender's NIC queue
   kOnWire = 1,    // serialized onto the cable towards the switch
-  kForwarded = 2, // left the switch egress port
+  kForwarded = 2, // left a switch egress port (once per switch hop)
   kDropped = 3,   // dropped (loss injection or unknown destination)
   kDelivered = 4, // handed to the receiver's NIC demux
 };
@@ -56,42 +80,89 @@ struct TraceEvent {
 
 using TraceSink = std::function<void(const TraceEvent&)>;
 
-/// A rack: N hosts, each with one NIC, connected through a single
-/// store-and-forward ToR switch (the paper's topology).
+/// Per-port accounting of one switch egress queue (Clos mode).
+struct PortStat {
+  SwitchId switch_id = kInvalidSwitch;
+  bool is_spine = false;
+  uint32_t port = 0;
+  uint64_t enqueued = 0;
+  uint64_t dropped_full = 0;
+  /// High-water mark of queued packets (including the one serializing).
+  uint32_t max_depth = 0;
+};
+
+/// The simulated datacenter network: `TopologyConfig::num_hosts` hosts,
+/// each with one NIC, connected through a switch graph described by the
+/// topology.
 ///
-/// Packet path:
+/// Single-ToR packet path (the paper's rack, and the seed model):
 ///   sender NIC TX pump (serialize at link rate + NIC overhead)
 ///   -> cable (propagation)
 ///   -> switch ingress -> egress port queue (serialize at link rate,
 ///      + switch forwarding latency, loss injection here)
 ///   -> cable (propagation)
 ///   -> receiver NIC demux (+ NIC overhead)
+///
+/// Clos packet path (docs/TOPOLOGY.md): the same stages repeated per
+/// switch hop. Same-leaf traffic crosses one leaf; inter-leaf traffic
+/// crosses leaf -> ECMP-chosen spine -> leaf, each hop paying an egress
+/// queue (finite capacity), serialization at link rate, forwarding
+/// latency, and cable propagation.
 class Fabric {
  public:
+  /// Legacy rack constructor: `num_nodes` hosts under a single ToR.
   Fabric(sim::Simulation* sim, const NetworkConfig& cfg, uint32_t num_nodes);
+
+  /// Topology-aware constructor.
+  Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
+         const TopologyConfig& topo);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   sim::Simulation* simulation() { return sim_; }
   const NetworkConfig& config() const { return cfg_; }
+  const TopologyConfig& topology() const { return topo_; }
   uint32_t num_nodes() const { return static_cast<uint32_t>(nics_.size()); }
+  uint32_t num_switches() const { return topo_.NumSwitches(); }
 
   Nic* nic(NodeId node) { return nics_[node].get(); }
 
   const SwitchStats& switch_stats() const { return switch_stats_; }
 
-  /// Test hook: invoked per packet at switch ingress; return true to drop.
+  /// Per-port egress queue accounting (Clos mode; empty for single-ToR).
+  std::vector<PortStat> PortStats() const;
+
+  /// Largest egress queue depth observed on any port so far (Clos mode).
+  uint32_t max_port_depth() const { return max_port_depth_; }
+
+  /// Administratively takes a switch down (packets arriving at it, queued
+  /// on it, or routed onto it are dropped as DropReason::kOutage) or
+  /// brings it back up. ECMP immediately steers inter-leaf flows away
+  /// from a down spine, so traffic reroutes while at least one spine
+  /// lives. Valid in both topology modes (the single ToR is switch 0).
+  void SetSwitchUp(SwitchId sw, bool up);
+  bool switch_up(SwitchId sw) const;
+
+  /// The spine an inter-leaf flow resolves to right now (deterministic
+  /// ECMP over the live spines), or kInvalidSwitch when every spine is
+  /// down. Exposed for tests and the scale benches; Clos mode only.
+  SwitchId SpineForFlow(NodeId src, Port src_port, NodeId dst,
+                        Port dst_port) const;
+
+  /// Test hook: invoked per packet at first-switch ingress; return true
+  /// to drop.
   void set_drop_filter(std::function<bool(const Packet&)> filter) {
     drop_filter_ = std::move(filter);
   }
 
   /// Installs the per-link fault seam (pass nullptr to detach). The hook
-  /// is consulted for every packet on both traversed links and for link
-  /// liveness; see net/fault_hook.h. The hook must outlive the fabric or
-  /// be detached first. The legacy `NetworkConfig::loss_probability` knob
-  /// keeps working independently (uniform ingress loss, applied before
-  /// the hook) as a compatibility shim for existing configs.
+  /// is consulted for every packet on the sender-uplink and
+  /// receiver-downlink cables and for link liveness; see net/fault_hook.h.
+  /// The hook must outlive the fabric or be detached first. The legacy
+  /// `NetworkConfig::loss_probability` knob keeps working independently
+  /// (uniform ingress loss, applied before the hook) as a compatibility
+  /// shim for existing configs.
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() { return fault_hook_; }
 
@@ -111,14 +182,44 @@ class Fabric {
   /// Fresh trace id for a packet.
   uint64_t NextPacketId() { return next_packet_id_++; }
 
+  /// The distinct per-reason drop counter, registered on first use (the
+  /// NIC uses this for FCS drops; the fabric's internal drop paths go
+  /// through it too).
+  obs::Counter* DropReasonCounter(DropReason reason);
+
   /// Called by a NIC TX pump after serialization: the packet is on the
-  /// cable towards the switch.
+  /// cable towards its first switch.
   void SendToSwitch(Packet pkt);
 
  private:
-  sim::Task<> EgressPump(NodeId port);
-  void SwitchIngress(Packet pkt);
+  /// One finite egress queue on a switch port.
+  struct PortQueue {
+    sim::Channel<Packet> queue;
+    /// Queued packets including the one currently serializing.
+    uint32_t depth = 0;
+    uint32_t max_depth = 0;
+    uint64_t enqueued = 0;
+    uint64_t dropped_full = 0;
+    /// Trace track id (1000 + construction order across the fabric).
+    uint32_t track = 0;
+  };
+
+  /// One switch of the Clos graph. Leaf ports: [0, HostsPerLeaf()) go
+  /// down to hosts, [HostsPerLeaf(), HostsPerLeaf()+num_spines) go up to
+  /// spines. Spine ports: one per leaf.
+  struct SwitchNode {
+    bool is_spine = false;
+    /// Leaf ordinal or spine ordinal (not the global SwitchId).
+    uint32_t index = 0;
+    bool up = true;
+    std::vector<std::unique_ptr<PortQueue>> ports;
+  };
+
+  // --- shared helpers ---
   void TraceSlow(TraceStage stage, const Packet& pkt);
+  /// Counts a drop under its distinct reason plus the aggregate
+  /// `net.switch.dropped`, and emits the kDropped trace stage.
+  void CountDrop(DropReason reason, const Packet& pkt);
 
   /// Deep copy for duplication faults: the clone gets its own payload
   /// slab (payload slabs are refcounted, and a later corruption fault
@@ -126,11 +227,39 @@ class Fabric {
   Packet ClonePacket(const Packet& pkt);
   void DropFaulted(const Packet& pkt, bool link_down);
 
+  // --- single-ToR path (the seed model, unchanged) ---
+  sim::Task<> EgressPump(NodeId port);
+  void SwitchIngress(Packet pkt);
+
+  // --- Clos path ---
+  void BuildClos();
+  /// Arrival at the sender's leaf, after the host->leaf cable.
+  void ClosHostIngress(Packet pkt);
+  /// Routes a packet sitting at leaf `leaf` towards its destination
+  /// (down-port when local, ECMP up-port otherwise).
+  void ClosRouteAtLeaf(uint32_t leaf, Packet pkt);
+  /// Arrival at spine `spine`, after a leaf->spine cable.
+  void ClosSpineIngress(uint32_t spine, Packet pkt);
+  /// Arrival at the receiver's leaf, after a spine->leaf cable.
+  void ClosLeafFromSpine(uint32_t leaf, Packet pkt);
+  /// Enqueues onto a finite port queue, dropping on overflow.
+  void ClosEnqueue(SwitchId sw, uint32_t port, Packet pkt);
+  /// Drains one port queue: serialize at link rate, then hand off to the
+  /// next hop (host delivery for leaf down-ports, switch ingress
+  /// otherwise).
+  sim::Task<> ClosPortPump(SwitchId sw, uint32_t port);
+
   sim::Simulation* sim_;
   NetworkConfig cfg_;
+  TopologyConfig topo_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  /// One egress queue per switch port (per destination host).
+  /// Single-ToR mode: one egress queue per switch port (per host).
   std::vector<std::unique_ptr<sim::Channel<Packet>>> egress_queues_;
+  /// Clos mode: leaves then spines, indexed by SwitchId.
+  std::vector<SwitchNode> switches_;
+  /// Single-ToR mode: ToR liveness (SetSwitchUp(0, ...)).
+  bool tor_up_ = true;
+  uint32_t max_port_depth_ = 0;
   SwitchStats switch_stats_;
   std::function<bool(const Packet&)> drop_filter_;
   FaultHook* fault_hook_ = nullptr;
@@ -138,6 +267,13 @@ class Fabric {
   uint64_t next_packet_id_ = 1;
   obs::Counter* m_forwarded_;
   obs::Counter* m_dropped_;
+  /// Lazily-registered distinct drop-reason counters (see DropReason).
+  obs::Counter* m_drop_reason_[kNumDropReasons] = {};
+  // Clos-only aggregates, registered eagerly by BuildClos (Clos runs have
+  // no baked-in metric fingerprints to preserve).
+  obs::Counter* m_spine_hops_ = nullptr;
+  obs::Counter* m_leaf_local_ = nullptr;
+  obs::Gauge* m_max_port_depth_ = nullptr;
 };
 
 }  // namespace dmrpc::net

@@ -49,6 +49,7 @@ void Nic::Deliver(Packet pkt) {
       m_rx_fcs_errors_ = sim_->metrics().GetCounter("net.rx_fcs_errors");
     }
     m_rx_fcs_errors_->Inc();
+    fabric_->DropReasonCounter(DropReason::kFcsBad)->Inc();
     fabric_->Trace(TraceStage::kDropped, pkt);
     return;
   }

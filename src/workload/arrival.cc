@@ -1,0 +1,79 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dmrpc::workload {
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kPareto:
+      return "pareto";
+    case ArrivalKind::kLognormal:
+      return "lognormal";
+  }
+  return "?";
+}
+
+bool ParseArrivalKind(const char* name, ArrivalKind* out) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kPareto,
+                           ArrivalKind::kLognormal}) {
+    if (std::strcmp(name, ArrivalKindName(kind)) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Standard normal via Box-Muller. Deliberately stateless (no cached
+/// spare): every call consumes exactly two rng draws, so the draw
+/// sequence -- and with it whole-run determinism -- never depends on how
+/// many normals were requested before.
+double DrawNormal(Rng& rng) {
+  double u1 = 1.0 - rng.NextDouble();  // (0, 1]
+  double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+}  // namespace
+
+TimeNs DrawGap(Rng& rng, const ArrivalConfig& cfg, double mean_gap_ns) {
+  DMRPC_CHECK_GT(mean_gap_ns, 0.0);
+  double gap = 0.0;
+  switch (cfg.kind) {
+    case ArrivalKind::kPoisson:
+      gap = rng.Exponential(mean_gap_ns);
+      break;
+    case ArrivalKind::kPareto: {
+      DMRPC_CHECK_GT(cfg.pareto_alpha, 1.0)
+          << "pareto mean diverges for alpha <= 1";
+      // Scale so E[gap] = xm * alpha / (alpha - 1) equals the mean.
+      double xm = mean_gap_ns * (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
+      double u = 1.0 - rng.NextDouble();  // (0, 1]
+      gap = xm / std::pow(u, 1.0 / cfg.pareto_alpha);
+      break;
+    }
+    case ArrivalKind::kLognormal: {
+      // mu chosen so E[gap] = exp(mu + sigma^2/2) equals the mean.
+      double sigma = cfg.lognormal_sigma;
+      double mu = std::log(mean_gap_ns) - 0.5 * sigma * sigma;
+      gap = std::exp(mu + sigma * DrawNormal(rng));
+      break;
+    }
+  }
+  double cap = 1000.0 * mean_gap_ns;
+  if (gap > cap) gap = cap;
+  if (gap < 1.0) gap = 1.0;
+  return static_cast<TimeNs>(gap);
+}
+
+}  // namespace dmrpc::workload

@@ -1,0 +1,53 @@
+#ifndef DMRPC_WORKLOAD_ARRIVAL_H_
+#define DMRPC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace dmrpc::workload {
+
+/// Inter-arrival process of an open-loop traffic source. Unlike the
+/// closed-loop clients of the paper's figures, arrivals do not wait for
+/// completions, so queueing delay compounds past the saturation knee --
+/// exactly the regime where p99/p999-vs-offered-load curves become
+/// meaningful.
+enum class ArrivalKind : uint8_t {
+  /// Exponential gaps (memoryless Poisson arrivals); the M/G/k baseline.
+  kPoisson = 0,
+  /// Pareto gaps (power-law tail): long silences followed by bursts, the
+  /// classic self-similar datacenter arrival model.
+  kPareto = 1,
+  /// Lognormal gaps: moderate burstiness between Poisson and Pareto.
+  kLognormal = 2,
+};
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+/// Parses "poisson" / "pareto" / "lognormal"; returns false on anything
+/// else (out is untouched).
+bool ParseArrivalKind(const char* name, ArrivalKind* out);
+
+/// Shape of one source's inter-arrival process. All kinds are normalized
+/// to the same requested mean gap, so switching the distribution changes
+/// burstiness, not the offered load.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Pareto tail exponent (must be > 1 so the mean exists; closer to 1 is
+  /// heavier). 1.5 is the canonical heavy-tail choice.
+  double pareto_alpha = 1.5;
+  /// Lognormal shape parameter (sigma of the underlying normal).
+  double lognormal_sigma = 1.0;
+};
+
+/// Draws one inter-arrival gap with the given mean, in virtual ns. Draws
+/// are truncated at 1000x the mean so one extreme tail sample cannot
+/// silence a source for a whole run; the truncation is part of the
+/// documented model (docs/TOPOLOGY.md) and affects the mean by < 0.2% for
+/// the supported parameter ranges.
+TimeNs DrawGap(Rng& rng, const ArrivalConfig& cfg, double mean_gap_ns);
+
+}  // namespace dmrpc::workload
+
+#endif  // DMRPC_WORKLOAD_ARRIVAL_H_

@@ -1,0 +1,100 @@
+#include "workload/openloop.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmrpc::workload {
+
+namespace {
+
+/// Shared between the runner and every spawned request coroutine, so
+/// stragglers that complete after the runner returns still touch live
+/// memory (they are simply not recorded).
+struct RunState {
+  std::vector<msvc::RequestFn> sources;
+  OpenLoopConfig cfg;
+  TimeNs measure_start = 0;
+  TimeNs measure_end = 0;
+  bool stop = false;
+  int outstanding = 0;
+  msvc::WorkloadResult result;
+};
+
+/// Issues one request and records it against the measurement window.
+sim::Task<> IssueOne(sim::Simulation* sim, std::shared_ptr<RunState> state,
+                     size_t source) {
+  TimeNs start = sim->Now();
+  bool in_window =
+      start >= state->measure_start && start < state->measure_end;
+  if (in_window) state->result.offered++;
+  auto outcome = co_await state->sources[source]();
+  TimeNs end = sim->Now();
+  state->outstanding--;
+  if (!in_window || end > state->measure_end) co_return;
+  if (outcome.ok()) {
+    state->result.completed++;
+    state->result.bytes += *outcome;
+    state->result.latency.Record(end - start);
+  } else {
+    state->result.failed++;
+  }
+}
+
+/// One source's arrival loop: draw a gap at the current instantaneous
+/// rate, sleep, fire a detached request.
+sim::Task<> SourceLoop(sim::Simulation* sim, std::shared_ptr<RunState> state,
+                       size_t source) {
+  const double per_source_rps =
+      state->cfg.rate_rps / static_cast<double>(state->sources.size());
+  while (!state->stop) {
+    double mult = state->cfg.diurnal.Multiplier(sim->Now());
+    double mean_gap_ns =
+        static_cast<double>(kSecond) / (per_source_rps * mult);
+    TimeNs gap = DrawGap(sim->rng(), state->cfg.arrival, mean_gap_ns);
+    co_await sim::Delay(gap);
+    if (state->stop) break;
+    if (state->outstanding >= state->cfg.max_outstanding) {
+      if (sim->Now() >= state->measure_start &&
+          sim->Now() < state->measure_end) {
+        state->result.offered++;
+        state->result.failed++;
+      }
+      continue;
+    }
+    state->outstanding++;
+    sim->Spawn(IssueOne(sim, state, source));
+  }
+}
+
+}  // namespace
+
+msvc::WorkloadResult RunOpenLoopMulti(sim::Simulation* sim,
+                                      const std::vector<msvc::RequestFn>& sources,
+                                      const OpenLoopConfig& cfg, TimeNs warmup,
+                                      TimeNs measure,
+                                      const msvc::WindowHooks& hooks) {
+  DMRPC_CHECK(!sources.empty());
+  DMRPC_CHECK_GT(cfg.rate_rps, 0.0);
+  auto state = std::make_shared<RunState>();
+  state->sources = sources;
+  state->cfg = cfg;
+  state->measure_start = sim->Now() + warmup;
+  state->measure_end = state->measure_start + measure;
+  state->result.window = measure;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    sim->Spawn(SourceLoop(sim, state, i));
+  }
+  if (hooks.on_measure_start) {
+    sim->At(state->measure_start, hooks.on_measure_start);
+  }
+  sim->RunUntil(state->measure_end);
+  if (hooks.on_measure_end) hooks.on_measure_end();
+  state->stop = true;
+  // Drain: let in-flight requests finish (they no longer record).
+  sim->RunFor(measure / 4 + 10 * kMillisecond);
+  return std::move(state->result);
+}
+
+}  // namespace dmrpc::workload

@@ -1,0 +1,212 @@
+// Unit tests for the open-loop workload generator: inter-arrival
+// distributions (normalized means, tail ordering, truncation), the
+// diurnal rate curve, and RunOpenLoopMulti end to end (offered-load
+// calibration, determinism, outstanding cap, diurnal modulation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+#include "workload/arrival.h"
+#include "workload/openloop.h"
+
+namespace dmrpc::workload {
+namespace {
+
+constexpr double kMeanGap = 10.0 * kMicrosecond;
+constexpr int kDraws = 200000;
+
+double SampleMean(ArrivalKind kind, uint64_t seed) {
+  Rng rng(seed, 1);
+  ArrivalConfig cfg;
+  cfg.kind = kind;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(DrawGap(rng, cfg, kMeanGap));
+  }
+  return sum / kDraws;
+}
+
+TEST(ArrivalTest, AllKindsNormalizedToRequestedMean) {
+  // Poisson and lognormal concentrate well; Pareto (alpha 1.5) converges
+  // slowly, so give it a wider band.
+  EXPECT_NEAR(SampleMean(ArrivalKind::kPoisson, 1), kMeanGap, 0.02 * kMeanGap);
+  EXPECT_NEAR(SampleMean(ArrivalKind::kLognormal, 1), kMeanGap,
+              0.02 * kMeanGap);
+  EXPECT_NEAR(SampleMean(ArrivalKind::kPareto, 1), kMeanGap, 0.15 * kMeanGap);
+}
+
+TEST(ArrivalTest, ParetoTailHeavierThanPoisson) {
+  Rng rng_p(7, 1), rng_e(7, 2);
+  ArrivalConfig pareto, poisson;
+  pareto.kind = ArrivalKind::kPareto;
+  poisson.kind = ArrivalKind::kPoisson;
+  std::vector<TimeNs> tp, te;
+  for (int i = 0; i < kDraws; ++i) {
+    tp.push_back(DrawGap(rng_p, pareto, kMeanGap));
+    te.push_back(DrawGap(rng_e, poisson, kMeanGap));
+  }
+  auto p999 = [](std::vector<TimeNs>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() * 999 / 1000, v.end());
+    return v[v.size() * 999 / 1000];
+  };
+  EXPECT_GT(p999(tp), 2 * p999(te));
+}
+
+TEST(ArrivalTest, DrawsAreTruncatedAtThousandTimesMean) {
+  Rng rng(11, 1);
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kPareto;
+  cfg.pareto_alpha = 1.05;  // brutally heavy tail
+  TimeNs cap = static_cast<TimeNs>(1000 * kMeanGap);
+  for (int i = 0; i < kDraws; ++i) {
+    EXPECT_LE(DrawGap(rng, cfg, kMeanGap), cap);
+  }
+}
+
+TEST(ArrivalTest, GapsArePositive) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kPareto,
+                           ArrivalKind::kLognormal}) {
+    Rng rng(3, 1);
+    ArrivalConfig cfg;
+    cfg.kind = kind;
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_GE(DrawGap(rng, cfg, kMeanGap), 1) << ArrivalKindName(kind);
+    }
+  }
+}
+
+TEST(ArrivalTest, ParseRoundTrips) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kPareto,
+                           ArrivalKind::kLognormal}) {
+    ArrivalKind out = ArrivalKind::kPoisson;
+    EXPECT_TRUE(ParseArrivalKind(ArrivalKindName(kind), &out));
+    EXPECT_EQ(out, kind);
+  }
+  ArrivalKind out = ArrivalKind::kPareto;
+  EXPECT_FALSE(ParseArrivalKind("weibull", &out));
+  EXPECT_EQ(out, ArrivalKind::kPareto);  // untouched on failure
+}
+
+TEST(DiurnalTest, MultiplierShape) {
+  DiurnalConfig flat;
+  EXPECT_DOUBLE_EQ(flat.Multiplier(123456789), 1.0);
+
+  DiurnalConfig d;
+  d.amplitude = 0.5;
+  d.period_ns = 100 * kMillisecond;
+  EXPECT_NEAR(d.Multiplier(0), 1.0, 1e-9);
+  EXPECT_NEAR(d.Multiplier(d.period_ns / 4), 1.5, 1e-9);       // peak
+  EXPECT_NEAR(d.Multiplier(3 * d.period_ns / 4), 0.5, 1e-9);   // trough
+  EXPECT_NEAR(d.Multiplier(d.period_ns), 1.0, 1e-6);           // wraps
+
+  DiurnalConfig deep;
+  deep.amplitude = 0.999999;
+  deep.period_ns = 100 * kMillisecond;
+  // Full-amplitude trough is floored so the source still trickles.
+  EXPECT_GE(deep.Multiplier(3 * deep.period_ns / 4), 0.01);
+
+  DiurnalConfig shifted = d;
+  shifted.phase = 0.25;  // starts at the peak
+  EXPECT_NEAR(shifted.Multiplier(0), 1.5, 1e-9);
+}
+
+// --- RunOpenLoopMulti end to end, with trivial Delay-based requests ---
+
+msvc::RequestFn FixedDelayRequest(TimeNs service_ns) {
+  return [service_ns]() -> sim::Task<StatusOr<uint64_t>> {
+    co_await sim::Delay(service_ns);
+    co_return 64;  // payload bytes
+  };
+}
+
+TEST(OpenLoopMultiTest, OfferedLoadMatchesConfiguredRate) {
+  sim::Simulation sim(21);
+  OpenLoopConfig cfg;
+  cfg.rate_rps = 200000;
+  std::vector<msvc::RequestFn> sources(8, FixedDelayRequest(5 * kMicrosecond));
+  auto res = RunOpenLoopMulti(&sim, sources, cfg, 5 * kMillisecond,
+                              50 * kMillisecond);
+  // 200 krps over a 50 ms window: 10000 expected arrivals.
+  EXPECT_NEAR(static_cast<double>(res.offered), 10000.0, 400.0);
+  EXPECT_EQ(res.failed, 0u);
+  // Only arrivals in the window's last 5 us miss the completion cutoff.
+  EXPECT_LE(res.offered - res.completed, 10u);
+  EXPECT_EQ(res.bytes, 64 * res.completed);
+  EXPECT_EQ(res.window, 50 * kMillisecond);
+  // Latency is the fixed service time: no queueing in an open loop with
+  // detached requests. min() is exact; quantiles carry the histogram's
+  // ~3% bucket error (never under-estimating).
+  EXPECT_EQ(res.latency.min(), 5 * kMicrosecond);
+  EXPECT_GE(res.latency.ValueAtQuantile(0.99), 5 * kMicrosecond);
+  EXPECT_LE(res.latency.ValueAtQuantile(0.99), 5 * kMicrosecond * 104 / 100);
+}
+
+TEST(OpenLoopMultiTest, DeterministicUnderSameSeed) {
+  auto run = [](uint64_t seed, ArrivalKind kind) {
+    sim::Simulation sim(seed);
+    OpenLoopConfig cfg;
+    cfg.rate_rps = 150000;
+    cfg.arrival.kind = kind;
+    cfg.diurnal.amplitude = 0.3;
+    cfg.diurnal.period_ns = 40 * kMillisecond;
+    std::vector<msvc::RequestFn> sources(4, FixedDelayRequest(3 * kMicrosecond));
+    auto res = RunOpenLoopMulti(&sim, sources, cfg, 2 * kMillisecond,
+                                20 * kMillisecond);
+    return std::make_tuple(res.offered, res.completed, sim.Now(),
+                           sim.executed_events());
+  };
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kPareto,
+                           ArrivalKind::kLognormal}) {
+    EXPECT_EQ(run(42, kind), run(42, kind)) << ArrivalKindName(kind);
+    EXPECT_NE(std::get<0>(run(42, kind)), std::get<0>(run(43, kind)));
+  }
+}
+
+TEST(OpenLoopMultiTest, OutstandingCapCountsRejectsAsFailed) {
+  sim::Simulation sim(5);
+  OpenLoopConfig cfg;
+  cfg.rate_rps = 1000000;  // 1 Mrps at...
+  cfg.max_outstanding = 32;
+  // ...an hour of service time: the cap binds almost immediately and
+  // nothing completes inside the window.
+  std::vector<msvc::RequestFn> sources(4, FixedDelayRequest(1 * kSecond));
+  auto res =
+      RunOpenLoopMulti(&sim, sources, cfg, /*warmup=*/0, 10 * kMillisecond);
+  EXPECT_GT(res.failed, 0u);
+  EXPECT_EQ(res.completed, 0u);
+  // Every in-window arrival is offered; all but the first 32 admitted
+  // (pre-cap) arrivals fail.
+  EXPECT_EQ(res.offered, res.failed + 32);
+}
+
+TEST(OpenLoopMultiTest, DiurnalCurveModulatesArrivals) {
+  // Phase 0 with a period of twice the window: the first half of the
+  // window rides the sine's positive lobe, the second half the negative
+  // lobe, so arrivals must skew heavily towards the first half.
+  sim::Simulation sim(9);
+  OpenLoopConfig cfg;
+  cfg.rate_rps = 100000;
+  cfg.diurnal.amplitude = 0.8;
+  cfg.diurnal.period_ns = 40 * kMillisecond;
+  uint64_t arrivals = 0, first_half = 0;
+  auto counting = [&arrivals]() -> sim::Task<StatusOr<uint64_t>> {
+    arrivals++;
+    co_await sim::Delay(1 * kMicrosecond);
+    co_return 64;
+  };
+  std::vector<msvc::RequestFn> sources(4, counting);
+  sim.At(20 * kMillisecond, [&] { first_half = arrivals; });
+  auto res = RunOpenLoopMulti(&sim, sources, cfg, /*warmup=*/0,
+                              40 * kMillisecond);
+  uint64_t second_half = res.offered - first_half;
+  EXPECT_GT(first_half, 2 * second_half);
+}
+
+}  // namespace
+}  // namespace dmrpc::workload
