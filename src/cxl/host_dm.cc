@@ -365,4 +365,27 @@ sim::Task<StatusOr<rpc::MsgBuffer>> HostDmLayer::FetchRef(const Ref& ref) {
   co_return out;
 }
 
+sim::Task<Status> HostDmLayer::WriteRef(const Ref& ref, uint64_t offset,
+                                        const uint8_t* src, uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  DMRPC_CHECK(ref.backend == Ref::Backend::kCxl);
+  if (offset + size > ref.size) {
+    co_return Status::OutOfRange("write_ref outside region");
+  }
+  // Plain stores through the CXL link into the referenced frames. No COW:
+  // the refcount on these frames counts sharers who all agreed (via their
+  // own locking, dsm::LockServer) to see each other's writes.
+  uint64_t done = 0;
+  while (done < size) {
+    uint64_t cur = offset + done;
+    uint64_t page = cur / page_size_;
+    uint32_t in_page = static_cast<uint32_t>(cur % page_size_);
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(size - done, page_size_ - in_page));
+    co_await port_->WriteFrame(ref.pages[page], in_page, src + done, chunk);
+    done += chunk;
+  }
+  co_return Status::OK();
+}
+
 }  // namespace dmrpc::cxl

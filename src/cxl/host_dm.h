@@ -87,6 +87,11 @@ class HostDmLayer : public dm::DmClient {
   /// Compound consumer path: streams the referenced pages through the
   /// CXL port into one pooled slab without mapping them.
   sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const dm::Ref& ref) override;
+  /// DSM-mode store straight into the referenced G-FAM frames, bypassing
+  /// the copy-on-write path entirely (no PTE, no refcount check). Every
+  /// mapping and FetchRef of these pages observes the new bytes.
+  sim::Task<Status> WriteRef(const dm::Ref& ref, uint64_t offset,
+                             const uint8_t* src, uint64_t size) override;
 
   const HostDmStats& stats() const { return stats_; }
   CxlPort* port() { return port_; }

@@ -76,6 +76,16 @@ class DmClient {
   /// response slices it received, the CXL backend lands the pages in
   /// pooled slabs -- neither copies into a flat buffer.
   virtual sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const Ref& ref) = 0;
+
+  /// DSM-mode companion to FetchRef: mutates the referenced pages IN
+  /// PLACE, bypassing copy-on-write, so every mapping and every later
+  /// FetchRef observes the new bytes. The caller must provide its own
+  /// synchronization (see dsm::LockServer) -- this deliberately steps
+  /// outside the Ref snapshot model to support shared mutable structures
+  /// (e.g. a B+-tree whose nodes live in DM, src/kv). `offset` is the
+  /// byte offset into the referenced region.
+  virtual sim::Task<Status> WriteRef(const Ref& ref, uint64_t offset,
+                                     const uint8_t* src, uint64_t size) = 0;
 };
 
 }  // namespace dmrpc::dm

@@ -214,6 +214,22 @@ sim::Task<Status> DmNetClient::WriteInPlace(RemoteAddr addr,
   co_return TakeStatus(&*resp);
 }
 
+sim::Task<Status> DmNetClient::WriteRef(const Ref& ref, uint64_t offset,
+                                        const uint8_t* src, uint64_t size) {
+  DMRPC_CHECK(initialized_);
+  DMRPC_CHECK(ref.backend == Ref::Backend::kNet);
+  auto i = RouteNode(ref.server);
+  if (!i.ok()) co_return i.status();
+  MsgBuffer req;
+  req.Append<uint64_t>(ref.key);
+  req.Append<uint64_t>(offset);
+  req.Append<uint64_t>(size);
+  req.AppendBytes(src, size);
+  auto resp = co_await rpc_->Call(sessions_[*i], kWriteRef, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return TakeStatus(&*resp);
+}
+
 sim::Task<StatusOr<rpc::MsgBuffer>> DmNetClient::FetchRef(const Ref& ref) {
   DMRPC_CHECK(initialized_);
   DMRPC_CHECK(ref.backend == Ref::Backend::kNet);

@@ -48,6 +48,8 @@ class DmNetClient : public dm::DmClient {
   sim::Task<StatusOr<dm::Ref>> PutRef(const uint8_t* data,
                                       uint64_t size) override;
   sim::Task<StatusOr<rpc::MsgBuffer>> FetchRef(const dm::Ref& ref) override;
+  sim::Task<Status> WriteRef(const dm::Ref& ref, uint64_t offset,
+                             const uint8_t* src, uint64_t size) override;
 
   /// DSM-mode write: mutates shared pages IN PLACE, bypassing
   /// copy-on-write. Other mappings of the same pages observe the new

@@ -22,6 +22,7 @@ enum DmReqType : uint8_t {
   kPutRef = 9,      // (bytes) -> key          [compound fast path]
   kFetchRef = 10,   // (key) -> bytes          [compound fast path]
   kWriteShared = 11,  // (pid, remote_addr, bytes) -> (), no COW [DSM mode]
+  kWriteRef = 12,     // (key, offset, bytes) -> (), in place, no COW
 };
 
 /// Default UDP port DM servers listen on.

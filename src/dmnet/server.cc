@@ -61,6 +61,9 @@ DmServer::DmServer(net::Fabric* fabric, net::NodeId node, net::Port port,
   rpc_->RegisterHandler(kFetchRef, [this](ReqContext c, MsgBuffer m) {
     return HandleFetchRef(c, std::move(m));
   });
+  rpc_->RegisterHandler(kWriteRef, [this](ReqContext c, MsgBuffer m) {
+    return HandleWriteRef(c, std::move(m));
+  });
   rpc_->RegisterHandler(kWriteShared, [this](ReqContext c, MsgBuffer m) {
     return HandleWriteShared(c, std::move(m));
   });
@@ -616,6 +619,47 @@ sim::Task<MsgBuffer> DmServer::HandleWriteShared(ReqContext ctx,
   meter_.Charge(mem::MemKind::kLocalDram, len);
   cpu += cfg_.memory.AccessNs(mem::MemKind::kLocalDram, len);
   co_await sim::Delay(cpu);
+  stats_.writes++;
+  PutStatus(&resp, Status::OK());
+  co_return resp;
+}
+
+sim::Task<MsgBuffer> DmServer::HandleWriteRef(ReqContext ctx,
+                                              MsgBuffer req) {
+  co_await cores_.Acquire();
+  sim::SemaphoreGuard guard(&cores_);
+  uint64_t key = req.Read<uint64_t>();
+  uint64_t offset = req.Read<uint64_t>();
+  uint64_t len = req.Read<uint64_t>();
+  co_await sim::Delay(cfg_.op_cpu_ns + TranslateCost());
+  stats_.translation_ns += TranslateCost();
+  MsgBuffer resp;
+  auto it = refs_.find(key);
+  if (it == refs_.end()) {
+    PutStatus(&resp, Status::NotFound("unknown ref key"));
+    co_return resp;
+  }
+  RefEntry& entry = it->second;
+  if (offset + len > entry.size) {
+    PutStatus(&resp, Status::OutOfRange("write_ref outside region"));
+    co_return resp;
+  }
+  // In-place mutation of the Ref's pinned pages, bypassing copy-on-write:
+  // every mapping of these frames and every later FetchRef observes the
+  // new bytes. Shared-structure (src/kv) discipline only -- callers must
+  // hold their own locks. Never mix with snapshot-semantic Refs.
+  uint64_t written = 0;
+  while (written < len) {
+    uint64_t cur = offset + written;
+    uint64_t page = cur / cfg_.page_size;
+    uint64_t in_page = cur % cfg_.page_size;
+    uint64_t chunk =
+        std::min<uint64_t>(len - written, cfg_.page_size - in_page);
+    req.ReadBytes(pool_.FrameData(entry.frames[page]) + in_page, chunk);
+    written += chunk;
+  }
+  meter_.Charge(mem::MemKind::kLocalDram, len);
+  co_await sim::Delay(cfg_.memory.AccessNs(mem::MemKind::kLocalDram, len));
   stats_.writes++;
   PutStatus(&resp, Status::OK());
   co_return resp;

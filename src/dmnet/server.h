@@ -160,6 +160,8 @@ class DmServer {
                                               rpc::MsgBuffer req);
   sim::Task<rpc::MsgBuffer> HandleFetchRef(rpc::ReqContext ctx,
                                            rpc::MsgBuffer req);
+  sim::Task<rpc::MsgBuffer> HandleWriteRef(rpc::ReqContext ctx,
+                                           rpc::MsgBuffer req);
 
   /// Translation key for the global hash table: pid in the high 32 bits,
   /// virtual page number (relative to the partition base) in the low 32.

@@ -1,6 +1,7 @@
 #include "dsm/lock_server.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "dmnet/protocol.h"
@@ -22,28 +23,83 @@ LockServer::LockServer(net::Fabric* fabric, net::NodeId node, net::Port port)
   });
 }
 
+bool LockServer::CompatibleWithHolders(const RegionLock& lock, LockMode mode,
+                                       uint64_t owner) {
+  for (const RegionLock::Holder& h : lock.holders) {
+    if (h.owner == owner) continue;  // self never conflicts (re-entry/upgrade)
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockServer::InstallGrant(RegionLock& lock, LockMode mode, uint64_t owner,
+                              uint64_t ts, net::NodeId client) {
+  for (RegionLock::Holder& h : lock.holders) {
+    if (h.owner != owner) continue;
+    // Re-entrant grant: one holder entry per owner (a later Release frees
+    // it once -- grants are idempotent, not counted). S -> X upgrades the
+    // entry in place.
+    if (h.mode == LockMode::kShared && mode == LockMode::kExclusive) {
+      h.mode = LockMode::kExclusive;
+      upgrades_++;
+    }
+    return;
+  }
+  lock.holders.push_back(RegionLock::Holder{owner, ts, mode, client});
+}
+
 sim::Task<MsgBuffer> LockServer::HandleAcquire(ReqContext ctx,
                                                MsgBuffer req) {
   uint64_t region = req.Read<uint64_t>();
   LockMode mode = static_cast<LockMode>(req.Read<uint8_t>());
+  uint64_t owner = req.Read<uint64_t>();
+  uint64_t ts = req.Read<uint64_t>();
+  LockPolicy policy = static_cast<LockPolicy>(req.Read<uint8_t>());
   co_await sim::Delay(150);  // lock-table lookup
   RegionLock& lock = regions_[region];
-  if (CanGrant(lock, mode)) {
-    if (mode == LockMode::kShared) {
-      lock.shared_holders++;
-    } else {
-      lock.exclusive_held = true;
-    }
+  // No barging: a compatible request still yields to queued waiters, so a
+  // FIFO writer cannot be starved by a stream of late readers (and the
+  // WAIT_DIE age test below stays sound -- waiting behind the queue only
+  // happens when the requester is older than everyone in it).
+  if (CompatibleWithHolders(lock, mode, owner) && lock.queue.empty()) {
+    InstallGrant(lock, mode, owner, ts, ctx.peer);
     grants_++;
     MsgBuffer resp;
     dmnet::PutStatus(&resp, Status::OK());
     co_return resp;
   }
+  contentions_++;
+  bool may_wait = policy != LockPolicy::kNoWait;
+  if (policy == LockPolicy::kWaitDie) {
+    // Older than every conflicting holder and every queued waiter, or
+    // die. All wait-for edges then point old -> young: deadlock-free.
+    for (const RegionLock::Holder& h : lock.holders) {
+      if (h.owner == owner) continue;
+      bool conflicts =
+          mode == LockMode::kExclusive || h.mode == LockMode::kExclusive;
+      if (conflicts && ts >= h.ts) may_wait = false;
+    }
+    for (const RegionLock::Waiter& w : lock.queue) {
+      if (ts >= w.ts) may_wait = false;
+    }
+  }
+  if (!may_wait) {
+    aborts_++;
+    MaybeReap(region);
+    MsgBuffer resp;
+    dmnet::PutStatus(&resp,
+                     Status::Aborted(policy == LockPolicy::kNoWait
+                                         ? "lock conflict (NO_WAIT)"
+                                         : "younger requester dies (WAIT_DIE)"));
+    co_return resp;
+  }
   // Queue FIFO; the response is withheld until the grant, which is what
   // blocks the caller -- lock waits ride the RPC.
-  contentions_++;
   auto granted = std::make_shared<sim::Completion<Status>>();
-  lock.queue.push_back(RegionLock::Waiter{mode, granted});
+  lock.queue.push_back(
+      RegionLock::Waiter{mode, owner, ts, ctx.peer, granted});
   Status st = co_await granted->Wait();
   MsgBuffer resp;
   dmnet::PutStatus(&resp, st);
@@ -51,19 +107,13 @@ sim::Task<MsgBuffer> LockServer::HandleAcquire(ReqContext ctx,
 }
 
 void LockServer::GrantWaiters(RegionLock& lock) {
-  // Grant the head of the queue; batch adjacent shared waiters.
+  // Grant from the head while compatible; adjacent shared waiters batch
+  // naturally, and an S -> X upgrade at the head only needs the OTHER
+  // holders gone (its own shared entry never blocks it).
   while (!lock.queue.empty()) {
     RegionLock::Waiter& head = lock.queue.front();
-    if (head.mode == LockMode::kExclusive) {
-      if (lock.exclusive_held || lock.shared_holders > 0) break;
-      lock.exclusive_held = true;
-      grants_++;
-      head.granted->Set(Status::OK());
-      lock.queue.pop_front();
-      break;
-    }
-    if (lock.exclusive_held) break;
-    lock.shared_holders++;
+    if (!CompatibleWithHolders(lock, head.mode, head.owner)) break;
+    InstallGrant(lock, head.mode, head.owner, head.ts, head.client);
     grants_++;
     head.granted->Set(Status::OK());
     lock.queue.pop_front();
@@ -72,8 +122,8 @@ void LockServer::GrantWaiters(RegionLock& lock) {
 
 void LockServer::MaybeReap(uint64_t region) {
   auto it = regions_.find(region);
-  if (it != regions_.end() && it->second.shared_holders == 0 &&
-      !it->second.exclusive_held && it->second.queue.empty()) {
+  if (it != regions_.end() && it->second.holders.empty() &&
+      it->second.queue.empty()) {
     regions_.erase(it);
   }
 }
@@ -82,6 +132,7 @@ sim::Task<MsgBuffer> LockServer::HandleRelease(ReqContext ctx,
                                                MsgBuffer req) {
   uint64_t region = req.Read<uint64_t>();
   LockMode mode = static_cast<LockMode>(req.Read<uint8_t>());
+  uint64_t owner = req.Read<uint64_t>();
   co_await sim::Delay(150);
   MsgBuffer resp;
   auto it = regions_.find(region);
@@ -90,23 +141,67 @@ sim::Task<MsgBuffer> LockServer::HandleRelease(ReqContext ctx,
     co_return resp;
   }
   RegionLock& lock = it->second;
-  if (mode == LockMode::kShared) {
-    if (lock.shared_holders == 0) {
-      dmnet::PutStatus(&resp, Status::InvalidArgument("not share-locked"));
-      co_return resp;
+  // Ownership-verified: only the recorded holder may release, and only in
+  // the mode it holds. A stranger's release (the double-release bug this
+  // replaces: decrementing a bare counter corrupted the lock state and
+  // granted a second exclusive owner) leaves the region untouched.
+  size_t idx = lock.holders.size();
+  for (size_t i = 0; i < lock.holders.size(); ++i) {
+    if (lock.holders[i].owner == owner) {
+      idx = i;
+      break;
     }
-    lock.shared_holders--;
-  } else {
-    if (!lock.exclusive_held) {
-      dmnet::PutStatus(&resp, Status::InvalidArgument("not excl-locked"));
-      co_return resp;
-    }
-    lock.exclusive_held = false;
   }
+  if (idx == lock.holders.size()) {
+    dmnet::PutStatus(&resp, Status::InvalidArgument("release by non-holder"));
+    co_return resp;
+  }
+  if (lock.holders[idx].mode != mode) {
+    dmnet::PutStatus(&resp,
+                     Status::InvalidArgument("release mode mismatch"));
+    co_return resp;
+  }
+  lock.holders.erase(lock.holders.begin() + idx);
   GrantWaiters(lock);
   MaybeReap(region);
   dmnet::PutStatus(&resp, Status::OK());
   co_return resp;
+}
+
+void LockServer::ReclaimClient(net::NodeId client) {
+  reclaims_++;
+  std::vector<uint64_t> touched;
+  touched.reserve(regions_.size());
+  for (auto& [region, lock] : regions_) {
+    bool changed = false;
+    for (size_t i = lock.holders.size(); i-- > 0;) {
+      if (lock.holders[i].client == client) {
+        lock.holders.erase(lock.holders.begin() + i);
+        changed = true;
+      }
+    }
+    // The dead client's queued waiters must be COMPLETED, not just
+    // dropped: their handler coroutines are parked on the completion and
+    // would leak (and the response slot dangle) otherwise. The response
+    // goes to a reset session and evaporates harmlessly.
+    for (size_t i = lock.queue.size(); i-- > 0;) {
+      if (lock.queue[i].client == client) {
+        lock.queue[i].granted->Set(
+            Status::Aborted("lock owner reclaimed after crash"));
+        lock.queue.erase(lock.queue.begin() + i);
+        changed = true;
+      }
+    }
+    if (changed) touched.push_back(region);
+  }
+  // Wake whoever became grantable -- the lost-wakeup half of the fix:
+  // without this sweep, waiters behind a crashed holder hang forever.
+  for (uint64_t region : touched) {
+    auto it = regions_.find(region);
+    if (it == regions_.end()) continue;
+    GrantWaiters(it->second);
+    MaybeReap(region);
+  }
 }
 
 DsmLockClient::DsmLockClient(rpc::Rpc* rpc, net::NodeId server,
@@ -122,24 +217,40 @@ sim::Task<Status> DsmLockClient::Init() {
   co_return Status::OK();
 }
 
-sim::Task<Status> DsmLockClient::Lock(uint64_t region, LockMode mode) {
+sim::Task<Status> DsmLockClient::Acquire(uint64_t region, LockMode mode,
+                                         uint64_t owner, uint64_t ts,
+                                         LockPolicy policy) {
   DMRPC_CHECK(initialized_);
   MsgBuffer req;
   req.Append<uint64_t>(region);
   req.Append<uint8_t>(static_cast<uint8_t>(mode));
+  req.Append<uint64_t>(owner);
+  req.Append<uint64_t>(ts);
+  req.Append<uint8_t>(static_cast<uint8_t>(policy));
   auto resp = co_await rpc_->Call(session_, kAcquire, std::move(req));
   if (!resp.ok()) co_return resp.status();
   co_return dmnet::TakeStatus(&*resp);
 }
 
-sim::Task<Status> DsmLockClient::Unlock(uint64_t region, LockMode mode) {
+sim::Task<Status> DsmLockClient::Release(uint64_t region, LockMode mode,
+                                         uint64_t owner) {
   DMRPC_CHECK(initialized_);
   MsgBuffer req;
   req.Append<uint64_t>(region);
   req.Append<uint8_t>(static_cast<uint8_t>(mode));
+  req.Append<uint64_t>(owner);
   auto resp = co_await rpc_->Call(session_, kRelease, std::move(req));
   if (!resp.ok()) co_return resp.status();
   co_return dmnet::TakeStatus(&*resp);
+}
+
+sim::Task<Status> DsmLockClient::Lock(uint64_t region, LockMode mode) {
+  return Acquire(region, mode, DefaultOwner(), DefaultOwner(),
+                 LockPolicy::kQueue);
+}
+
+sim::Task<Status> DsmLockClient::Unlock(uint64_t region, LockMode mode) {
+  return Release(region, mode, DefaultOwner());
 }
 
 }  // namespace dmrpc::dsm

@@ -1,0 +1,725 @@
+#include "kv/btree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmrpc::kv {
+
+using dsm::LockMode;
+using dsm::LockPolicy;
+
+// ---------------------------------------------------------------- LatchSet
+
+sim::Task<Status> BTree::LatchSet::Acquire(NodeId id, LockMode mode) {
+  for (const auto& [held, m] : held_) {
+    DMRPC_CHECK(!(held == id)) << "latch re-entry on one node";
+  }
+  Status st = co_await lc_->Acquire(LatchRegion(id), mode, owner_, owner_,
+                                    LockPolicy::kQueue);
+  if (st.ok()) held_.emplace_back(id, mode);
+  co_return st;
+}
+
+sim::Task<Status> BTree::LatchSet::Release(NodeId id) {
+  for (size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].first == id) {
+      LockMode mode = held_[i].second;
+      held_.erase(held_.begin() + i);
+      co_return co_await lc_->Release(LatchRegion(id), mode, owner_);
+    }
+  }
+  DMRPC_CHECK(false) << "release of unheld latch";
+  co_return Status::Internal("unreachable");
+}
+
+sim::Task<> BTree::LatchSet::ReleaseAll() {
+  while (!held_.empty()) {
+    auto [id, mode] = held_.back();
+    held_.pop_back();
+    (void)co_await lc_->Release(LatchRegion(id), mode, owner_);
+  }
+}
+
+// ------------------------------------------------------------------- BTree
+
+BTree::BTree(NodeStore* store, dsm::DsmLockClient* latches, BTreeConfig cfg,
+             uint32_t client_id)
+    : store_(store), latches_(latches), cfg_(cfg), client_id_(client_id) {
+  leaf_cap_ = LeafCapacity(cfg_.page_size, cfg_.value_size);
+  if (cfg_.max_leaf_keys != 0 && cfg_.max_leaf_keys < leaf_cap_) {
+    leaf_cap_ = cfg_.max_leaf_keys;
+  }
+  inner_cap_ = InnerCapacity(cfg_.page_size);
+  if (cfg_.max_inner_keys != 0 && cfg_.max_inner_keys < inner_cap_) {
+    inner_cap_ = cfg_.max_inner_keys;
+  }
+  DMRPC_CHECK_GE(leaf_cap_, 2u) << "leaf capacity too small";
+  DMRPC_CHECK_GE(inner_cap_, 2u) << "inner capacity too small";
+}
+
+sim::Task<StatusOr<MetaPage>> BTree::ReadMeta() {
+  auto bytes = co_await store_->ReadNode(meta_id_, kMetaBytes);
+  if (!bytes.ok()) co_return bytes.status();
+  co_return MetaPage::DecodeFrom(bytes->data(), bytes->size());
+}
+
+sim::Task<Status> BTree::WriteMeta(const MetaPage& meta) {
+  std::vector<uint8_t> bytes;
+  meta.EncodeTo(&bytes);
+  co_return co_await store_->WriteNode(meta_id_, 0, bytes.data(),
+                                       bytes.size());
+}
+
+sim::Task<StatusOr<Node>> BTree::ReadNode(const NodeId& id) {
+  auto bytes = co_await store_->ReadNode(id, cfg_.page_size);
+  if (!bytes.ok()) co_return bytes.status();
+  co_return Node::DecodeFrom(bytes->data(), bytes->size(), cfg_.value_size);
+}
+
+sim::Task<Status> BTree::WriteNodePage(const NodeId& id, const Node& node) {
+  std::vector<uint8_t> bytes;
+  node.EncodeTo(&bytes, cfg_.page_size, cfg_.value_size);
+  co_return co_await store_->WriteNode(id, 0, bytes.data(), bytes.size());
+}
+
+sim::Task<StatusOr<NodeId>> BTree::AllocNodePage(const Node& node) {
+  std::vector<uint8_t> bytes;
+  node.EncodeTo(&bytes, cfg_.page_size, cfg_.value_size);
+  co_return co_await store_->AllocNode(bytes.data(), bytes.size());
+}
+
+sim::Task<Status> BTree::Create() {
+  Node root;
+  root.leaf = true;
+  auto root_id = co_await AllocNodePage(root);
+  if (!root_id.ok()) co_return root_id.status();
+  MetaPage meta;
+  meta.root = *root_id;
+  meta.height = 1;
+  std::vector<uint8_t> bytes;
+  meta.EncodeTo(&bytes);
+  auto id = co_await store_->AllocNode(bytes.data(), bytes.size());
+  if (!id.ok()) co_return id.status();
+  meta_id_ = *id;
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<BTree::DescentResult>> BTree::DescendToLeaf(
+    uint64_t key, LockMode leaf_mode, LatchSet* latches) {
+  DMRPC_CHECK(!meta_id_.null()) << "tree not created/attached";
+  Status st = co_await latches->Acquire(meta_id_, LockMode::kShared);
+  if (!st.ok()) co_return st;
+  auto meta = co_await ReadMeta();
+  if (!meta.ok()) {
+    co_await latches->ReleaseAll();
+    co_return meta.status();
+  }
+  // Strict coupling: the previous latch is released only after the next
+  // one is granted -- the property that makes concurrent node
+  // reclamation safe (an SMO frees a node only under X latches a reader
+  // behind it cannot have yielded yet).
+  NodeId prev = meta_id_;
+  NodeId cur = meta->root;
+  uint64_t level = meta->height;
+  while (true) {
+    LockMode mode = level == 1 ? leaf_mode : LockMode::kShared;
+    st = co_await latches->Acquire(cur, mode);
+    if (!st.ok()) {
+      co_await latches->ReleaseAll();
+      co_return st;
+    }
+    st = co_await latches->Release(prev);
+    if (!st.ok()) {
+      co_await latches->ReleaseAll();
+      co_return st;
+    }
+    auto node = co_await ReadNode(cur);
+    if (!node.ok()) {
+      co_await latches->ReleaseAll();
+      co_return node.status();
+    }
+    if (level == 1) {
+      DMRPC_CHECK(node->leaf) << "height/leaf mismatch";
+      DescentResult res;
+      res.meta = *meta;
+      res.leaf_id = cur;
+      res.leaf = std::move(*node);
+      co_return res;
+    }
+    DMRPC_CHECK(!node->leaf) << "leaf above level 1";
+    size_t idx = node->ChildFor(key);
+    prev = cur;
+    cur = node->children[idx];
+    level--;
+  }
+}
+
+sim::Task<StatusOr<std::optional<KvEntry>>> BTree::Get(uint64_t key) {
+  stats_.gets++;
+  LatchSet latches(latches_, NextLatchOwner());
+  auto d = co_await DescendToLeaf(key, LockMode::kShared, &latches);
+  if (!d.ok()) co_return d.status();
+  std::optional<KvEntry> out;
+  const Node& leaf = d->leaf;
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it != leaf.keys.end() && *it == key) {
+    size_t i = static_cast<size_t>(it - leaf.keys.begin());
+    out = KvEntry{key, leaf.versions[i], leaf.values[i]};
+  }
+  co_await latches.ReleaseAll();
+  co_return out;
+}
+
+sim::Task<StatusOr<bool>> BTree::Upsert(uint64_t key, const uint8_t* value,
+                                        uint64_t version) {
+  stats_.upserts++;
+  LatchSet latches(latches_, NextLatchOwner());
+  auto d = co_await DescendToLeaf(key, LockMode::kExclusive, &latches);
+  if (!d.ok()) co_return d.status();
+  Node& leaf = d->leaf;
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  size_t i = static_cast<size_t>(it - leaf.keys.begin());
+  if (it != leaf.keys.end() && *it == key) {
+    // Overwrite in place: only the entry's version+value go on the wire.
+    std::vector<uint8_t> buf(8 + cfg_.value_size);
+    std::memcpy(buf.data(), &version, 8);
+    std::memcpy(buf.data() + 8, value, cfg_.value_size);
+    uint64_t off = kNodeHeaderBytes + i * (16 + cfg_.value_size) + 8;
+    Status st =
+        co_await store_->WriteNode(d->leaf_id, off, buf.data(), buf.size());
+    co_await latches.ReleaseAll();
+    if (!st.ok()) co_return st;
+    co_return false;
+  }
+  if (leaf.keys.size() < leaf_cap_) {
+    leaf.keys.insert(leaf.keys.begin() + i, key);
+    leaf.versions.insert(leaf.versions.begin() + i, version);
+    leaf.values.insert(leaf.values.begin() + i,
+                       std::vector<uint8_t>(value, value + cfg_.value_size));
+    Status st = co_await WriteNodePage(d->leaf_id, leaf);
+    co_await latches.ReleaseAll();
+    if (!st.ok()) co_return st;
+    co_return true;
+  }
+  // Leaf full: fall back to the pessimistic (meta-X) path.
+  co_await latches.ReleaseAll();
+  co_return co_await SmoInsert(key, value, version);
+}
+
+sim::Task<StatusOr<bool>> BTree::Erase(uint64_t key) {
+  stats_.erases++;
+  LatchSet latches(latches_, NextLatchOwner());
+  auto d = co_await DescendToLeaf(key, LockMode::kExclusive, &latches);
+  if (!d.ok()) co_return d.status();
+  Node& leaf = d->leaf;
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  size_t i = static_cast<size_t>(it - leaf.keys.begin());
+  if (it == leaf.keys.end() || *it != key) {
+    co_await latches.ReleaseAll();
+    co_return false;
+  }
+  if (leaf.keys.size() > 1 || d->leaf_id == d->meta.root) {
+    leaf.keys.erase(leaf.keys.begin() + i);
+    leaf.versions.erase(leaf.versions.begin() + i);
+    leaf.values.erase(leaf.values.begin() + i);
+    Status st = co_await WriteNodePage(d->leaf_id, leaf);
+    co_await latches.ReleaseAll();
+    if (!st.ok()) co_return st;
+    co_return true;
+  }
+  // Would empty a non-root leaf: pessimistic free-at-empty path.
+  co_await latches.ReleaseAll();
+  co_return co_await SmoErase(key);
+}
+
+sim::Task<StatusOr<bool>> BTree::SmoInsert(uint64_t key, const uint8_t* value,
+                                           uint64_t version) {
+  stats_.smo_descents++;
+  LatchSet latches(latches_, NextLatchOwner());
+  Status st = co_await latches.Acquire(meta_id_, LockMode::kExclusive);
+  if (!st.ok()) co_return st;
+  auto meta_or = co_await ReadMeta();
+  if (!meta_or.ok()) {
+    co_await latches.ReleaseAll();
+    co_return meta_or.status();
+  }
+  MetaPage meta = *meta_or;
+  struct PathEntry {
+    NodeId id;
+    Node node;
+    size_t idx;
+  };
+  std::vector<PathEntry> path;
+  NodeId cur = meta.root;
+  uint64_t level = meta.height;
+  while (level > 1) {
+    st = co_await latches.Acquire(cur, LockMode::kExclusive);
+    if (!st.ok()) {
+      co_await latches.ReleaseAll();
+      co_return st;
+    }
+    auto node = co_await ReadNode(cur);
+    if (!node.ok()) {
+      co_await latches.ReleaseAll();
+      co_return node.status();
+    }
+    size_t idx = node->ChildFor(key);
+    path.push_back(PathEntry{cur, std::move(*node), idx});
+    cur = path.back().node.children[idx];
+    level--;
+  }
+  st = co_await latches.Acquire(cur, LockMode::kExclusive);
+  if (!st.ok()) {
+    co_await latches.ReleaseAll();
+    co_return st;
+  }
+  auto leaf_or = co_await ReadNode(cur);
+  if (!leaf_or.ok()) {
+    co_await latches.ReleaseAll();
+    co_return leaf_or.status();
+  }
+  Node leaf = std::move(*leaf_or);
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  size_t i = static_cast<size_t>(it - leaf.keys.begin());
+  if (it != leaf.keys.end() && *it == key) {
+    // Another client inserted it between our optimistic retreat and the
+    // meta X grant -- degrade to an overwrite.
+    std::vector<uint8_t> buf(8 + cfg_.value_size);
+    std::memcpy(buf.data(), &version, 8);
+    std::memcpy(buf.data() + 8, value, cfg_.value_size);
+    uint64_t off = kNodeHeaderBytes + i * (16 + cfg_.value_size) + 8;
+    st = co_await store_->WriteNode(cur, off, buf.data(), buf.size());
+    co_await latches.ReleaseAll();
+    if (!st.ok()) co_return st;
+    co_return false;
+  }
+  leaf.keys.insert(leaf.keys.begin() + i, key);
+  leaf.versions.insert(leaf.versions.begin() + i, version);
+  leaf.values.insert(leaf.values.begin() + i,
+                     std::vector<uint8_t>(value, value + cfg_.value_size));
+
+  // Split upward until a node fits (the whole path is X-latched and meta
+  // X excludes every other SMO, so in-memory surgery is safe).
+  Node* node = &leaf;
+  NodeId node_id = cur;
+  bool is_leaf = true;
+  int pos = static_cast<int>(path.size()) - 1;
+  while (true) {
+    uint32_t cap = is_leaf ? leaf_cap_ : inner_cap_;
+    if (node->keys.size() <= cap) {
+      st = co_await WriteNodePage(node_id, *node);
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      break;
+    }
+    Node right;
+    right.leaf = is_leaf;
+    uint64_t sep = 0;
+    if (is_leaf) {
+      size_t keep = (node->keys.size() + 1) / 2;
+      right.keys.assign(node->keys.begin() + keep, node->keys.end());
+      right.versions.assign(node->versions.begin() + keep,
+                            node->versions.end());
+      right.values.assign(node->values.begin() + keep, node->values.end());
+      right.next = node->next;
+      node->keys.resize(keep);
+      node->versions.resize(keep);
+      node->values.resize(keep);
+      sep = right.keys.front();
+      stats_.leaf_splits++;
+    } else {
+      size_t mid = node->keys.size() / 2;
+      sep = node->keys[mid];
+      right.keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      right.children.assign(node->children.begin() + mid + 1,
+                            node->children.end());
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      stats_.inner_splits++;
+    }
+    auto right_id = co_await AllocNodePage(right);
+    if (!right_id.ok()) {
+      co_await latches.ReleaseAll();
+      co_return right_id.status();
+    }
+    if (is_leaf) node->next = *right_id;
+    st = co_await WriteNodePage(node_id, *node);
+    if (!st.ok()) {
+      co_await latches.ReleaseAll();
+      co_return st;
+    }
+    if (pos < 0) {
+      Node root;
+      root.leaf = false;
+      root.keys.push_back(sep);
+      root.children.push_back(node_id);
+      root.children.push_back(*right_id);
+      auto root_id = co_await AllocNodePage(root);
+      if (!root_id.ok()) {
+        co_await latches.ReleaseAll();
+        co_return root_id.status();
+      }
+      meta.root = *root_id;
+      meta.height++;
+      stats_.root_changes++;
+      st = co_await WriteMeta(meta);
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      break;
+    }
+    PathEntry& pe = path[pos];
+    pe.node.keys.insert(pe.node.keys.begin() + pe.idx, sep);
+    pe.node.children.insert(pe.node.children.begin() + pe.idx + 1,
+                            *right_id);
+    node = &pe.node;
+    node_id = pe.id;
+    is_leaf = false;
+    pos--;
+  }
+  co_await latches.ReleaseAll();
+  co_return true;
+}
+
+sim::Task<StatusOr<bool>> BTree::SmoErase(uint64_t key) {
+  stats_.smo_descents++;
+  LatchSet latches(latches_, NextLatchOwner());
+  Status st = co_await latches.Acquire(meta_id_, LockMode::kExclusive);
+  if (!st.ok()) co_return st;
+  auto meta_or = co_await ReadMeta();
+  if (!meta_or.ok()) {
+    co_await latches.ReleaseAll();
+    co_return meta_or.status();
+  }
+  MetaPage meta = *meta_or;
+  struct PathEntry {
+    NodeId id;
+    Node node;
+    size_t idx;
+  };
+  std::vector<PathEntry> path;
+  NodeId cur = meta.root;
+  st = co_await latches.Acquire(cur, LockMode::kExclusive);
+  if (!st.ok()) {
+    co_await latches.ReleaseAll();
+    co_return st;
+  }
+  auto cur_or = co_await ReadNode(cur);
+  if (!cur_or.ok()) {
+    co_await latches.ReleaseAll();
+    co_return cur_or.status();
+  }
+  Node cur_node = std::move(*cur_or);
+  uint64_t level = meta.height;
+  while (level > 1) {
+    size_t idx = cur_node.ChildFor(key);
+    // Latch the descent child plus the one sibling a removal at that
+    // child may rewire -- in left-to-right order, which keeps the global
+    // latch order (top-down, left-right) deadlock-free even against leaf
+    // scans walking the chain.
+    if (idx > 0) {
+      st = co_await latches.Acquire(cur_node.children[idx - 1],
+                                    LockMode::kExclusive);
+      if (st.ok()) {
+        st = co_await latches.Acquire(cur_node.children[idx],
+                                      LockMode::kExclusive);
+      }
+    } else {
+      st = co_await latches.Acquire(cur_node.children[0],
+                                    LockMode::kExclusive);
+      if (st.ok() && cur_node.children.size() > 1) {
+        st = co_await latches.Acquire(cur_node.children[1],
+                                      LockMode::kExclusive);
+      }
+    }
+    if (!st.ok()) {
+      co_await latches.ReleaseAll();
+      co_return st;
+    }
+    path.push_back(PathEntry{cur, std::move(cur_node), idx});
+    cur = path.back().node.children[idx];
+    auto child = co_await ReadNode(cur);
+    if (!child.ok()) {
+      co_await latches.ReleaseAll();
+      co_return child.status();
+    }
+    cur_node = std::move(*child);
+    level--;
+  }
+  DMRPC_CHECK(cur_node.leaf);
+  auto it = std::lower_bound(cur_node.keys.begin(), cur_node.keys.end(), key);
+  size_t i = static_cast<size_t>(it - cur_node.keys.begin());
+  if (it == cur_node.keys.end() || *it != key) {
+    co_await latches.ReleaseAll();
+    co_return false;
+  }
+  cur_node.keys.erase(cur_node.keys.begin() + i);
+  cur_node.versions.erase(cur_node.versions.begin() + i);
+  cur_node.values.erase(cur_node.values.begin() + i);
+  if (!cur_node.keys.empty() || path.empty()) {
+    st = co_await WriteNodePage(cur, cur_node);
+    co_await latches.ReleaseAll();
+    if (!st.ok()) co_return st;
+    co_return true;
+  }
+
+  // Free-at-empty: remove the emptied node, cascading up while parents
+  // drop to zero keys. Every touched node (parent, victim, one sibling
+  // per level) is already X-latched from the descent.
+  NodeId victim_id = cur;
+  Node victim = std::move(cur_node);
+  bool leaf_level = true;
+  int pos = static_cast<int>(path.size()) - 1;
+  while (true) {
+    PathEntry& parent = path[pos];
+    size_t idx = parent.idx;
+    bool resolved_by_borrow = false;
+    if (idx > 0) {
+      NodeId ls_id = parent.node.children[idx - 1];
+      auto ls_or = co_await ReadNode(ls_id);
+      if (!ls_or.ok()) {
+        co_await latches.ReleaseAll();
+        co_return ls_or.status();
+      }
+      Node ls = std::move(*ls_or);
+      if (leaf_level) {
+        // Unlink the empty leaf from the chain via its (same-parent)
+        // left sibling, then drop it from the parent.
+        ls.next = victim.next;
+        st = co_await WriteNodePage(ls_id, ls);
+        if (st.ok()) st = co_await store_->FreeNode(victim_id, cfg_.page_size);
+        stats_.merges++;
+      } else if (ls.keys.size() < inner_cap_) {
+        // Fold the single-child inner node into its left sibling.
+        ls.keys.push_back(parent.node.keys[idx - 1]);
+        ls.children.push_back(victim.children[0]);
+        st = co_await WriteNodePage(ls_id, ls);
+        if (st.ok()) st = co_await store_->FreeNode(victim_id, cfg_.page_size);
+        stats_.merges++;
+      } else {
+        // Sibling full: borrow its last child through the parent.
+        victim.keys.assign(1, parent.node.keys[idx - 1]);
+        NodeId c = victim.children.empty() ? NodeId{} : victim.children[0];
+        victim.children.assign(1, ls.children.back());
+        victim.children.push_back(c);
+        parent.node.keys[idx - 1] = ls.keys.back();
+        ls.keys.pop_back();
+        ls.children.pop_back();
+        st = co_await WriteNodePage(ls_id, ls);
+        if (st.ok()) st = co_await WriteNodePage(victim_id, victim);
+        if (st.ok()) st = co_await WriteNodePage(parent.id, parent.node);
+        stats_.borrows++;
+        resolved_by_borrow = true;
+      }
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      if (!resolved_by_borrow) {
+        parent.node.keys.erase(parent.node.keys.begin() + idx - 1);
+        parent.node.children.erase(parent.node.children.begin() + idx);
+      }
+    } else {
+      // Leftmost child: absorb the right sibling instead (its left
+      // neighbor lives in another subtree and cannot be latched in
+      // order).
+      NodeId r_id = parent.node.children[1];
+      auto r_or = co_await ReadNode(r_id);
+      if (!r_or.ok()) {
+        co_await latches.ReleaseAll();
+        co_return r_or.status();
+      }
+      Node r = std::move(*r_or);
+      if (leaf_level) {
+        victim.keys = std::move(r.keys);
+        victim.versions = std::move(r.versions);
+        victim.values = std::move(r.values);
+        victim.next = r.next;
+        st = co_await WriteNodePage(victim_id, victim);
+        if (st.ok()) st = co_await store_->FreeNode(r_id, cfg_.page_size);
+        stats_.merges++;
+      } else if (r.keys.size() < inner_cap_) {
+        NodeId c = victim.children[0];
+        victim.keys.assign(1, parent.node.keys[0]);
+        victim.keys.insert(victim.keys.end(), r.keys.begin(), r.keys.end());
+        victim.children.assign(1, c);
+        victim.children.insert(victim.children.end(), r.children.begin(),
+                               r.children.end());
+        st = co_await WriteNodePage(victim_id, victim);
+        if (st.ok()) st = co_await store_->FreeNode(r_id, cfg_.page_size);
+        stats_.merges++;
+      } else {
+        NodeId c = victim.children[0];
+        victim.keys.assign(1, parent.node.keys[0]);
+        victim.children.assign(1, c);
+        victim.children.push_back(r.children.front());
+        parent.node.keys[0] = r.keys.front();
+        r.keys.erase(r.keys.begin());
+        r.children.erase(r.children.begin());
+        st = co_await WriteNodePage(victim_id, victim);
+        if (st.ok()) st = co_await WriteNodePage(r_id, r);
+        if (st.ok()) st = co_await WriteNodePage(parent.id, parent.node);
+        stats_.borrows++;
+        resolved_by_borrow = true;
+      }
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      if (!resolved_by_borrow) {
+        parent.node.keys.erase(parent.node.keys.begin());
+        parent.node.children.erase(parent.node.children.begin() + 1);
+      }
+    }
+    if (resolved_by_borrow) break;
+    if (!parent.node.keys.empty()) {
+      st = co_await WriteNodePage(parent.id, parent.node);
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      break;
+    }
+    if (pos == 0) {
+      // The root collapsed to a single child: the whole tree loses one
+      // level, keeping leaf depth uniform.
+      meta.root = parent.node.children[0];
+      meta.height--;
+      stats_.root_changes++;
+      st = co_await WriteMeta(meta);
+      if (st.ok()) st = co_await store_->FreeNode(parent.id, cfg_.page_size);
+      if (!st.ok()) {
+        co_await latches.ReleaseAll();
+        co_return st;
+      }
+      break;
+    }
+    victim_id = parent.id;
+    victim = std::move(parent.node);
+    leaf_level = false;
+    pos--;
+  }
+  co_await latches.ReleaseAll();
+  co_return true;
+}
+
+sim::Task<StatusOr<std::vector<KvEntry>>> BTree::Scan(uint64_t start_key,
+                                                      uint32_t max_items) {
+  stats_.scans++;
+  LatchSet latches(latches_, NextLatchOwner());
+  auto d = co_await DescendToLeaf(start_key, LockMode::kShared, &latches);
+  if (!d.ok()) co_return d.status();
+  std::vector<KvEntry> out;
+  NodeId cur_id = d->leaf_id;
+  Node cur = std::move(d->leaf);
+  while (out.size() < max_items) {
+    for (size_t i = 0; i < cur.keys.size() && out.size() < max_items; ++i) {
+      if (cur.keys[i] < start_key) continue;
+      out.push_back(KvEntry{cur.keys[i], cur.versions[i], cur.values[i]});
+    }
+    if (out.size() >= max_items || cur.next.null()) break;
+    // Chain hop with coupling: latch the right neighbor before letting
+    // the current leaf go.
+    NodeId next_id = cur.next;
+    Status st = co_await latches.Acquire(next_id, LockMode::kShared);
+    if (!st.ok()) {
+      co_await latches.ReleaseAll();
+      co_return st;
+    }
+    st = co_await latches.Release(cur_id);
+    if (!st.ok()) {
+      co_await latches.ReleaseAll();
+      co_return st;
+    }
+    auto node = co_await ReadNode(next_id);
+    if (!node.ok()) {
+      co_await latches.ReleaseAll();
+      co_return node.status();
+    }
+    cur_id = next_id;
+    cur = std::move(*node);
+  }
+  co_await latches.ReleaseAll();
+  co_return out;
+}
+
+sim::Task<Status> BTree::CheckSubtree(
+    NodeId id, uint64_t level, std::optional<uint64_t> lo,
+    std::optional<uint64_t> hi, const MetaPage& meta,
+    std::vector<std::pair<NodeId, NodeId>>* leaves, std::string* err) {
+  auto fail = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "node(" << id.a << "," << id.b << ") level " << level << ": "
+       << what;
+    *err = os.str();
+    return Status::Internal(*err);
+  };
+  auto node_or = co_await ReadNode(id);
+  if (!node_or.ok()) co_return node_or.status();
+  Node node = std::move(*node_or);
+  bool is_root = id == meta.root;
+  if (node.leaf != (level == 1)) co_return fail("leaf depth not uniform");
+  uint32_t cap = node.leaf ? leaf_cap_ : inner_cap_;
+  if (node.keys.size() > cap) co_return fail("fanout above capacity");
+  if (!is_root && node.keys.empty()) {
+    co_return fail("non-root node is empty");
+  }
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    if (i > 0 && node.keys[i - 1] >= node.keys[i]) {
+      co_return fail("keys not strictly sorted");
+    }
+    if (lo.has_value() && node.keys[i] < *lo) {
+      co_return fail("key below separator range");
+    }
+    if (hi.has_value() && node.keys[i] >= *hi) {
+      co_return fail("key above separator range");
+    }
+  }
+  if (node.leaf) {
+    leaves->emplace_back(id, node.next);
+    co_return Status::OK();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    co_return fail("inner fanout != nkeys + 1");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i].null()) co_return fail("null child pointer");
+    std::optional<uint64_t> clo = i == 0 ? lo : node.keys[i - 1];
+    std::optional<uint64_t> chi = i == node.keys.size() ? hi : node.keys[i];
+    Status st = co_await CheckSubtree(node.children[i], level - 1, clo, chi,
+                                      meta, leaves, err);
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> BTree::CheckInvariants(std::string* report) {
+  auto meta = co_await ReadMeta();
+  if (!meta.ok()) co_return meta.status();
+  std::vector<std::pair<NodeId, NodeId>> leaves;
+  std::string err;
+  Status st = co_await CheckSubtree(meta->root, meta->height, std::nullopt,
+                                    std::nullopt, *meta, &leaves, &err);
+  if (!st.ok()) {
+    if (report != nullptr) *report = err;
+    co_return st;
+  }
+  // The left-to-right DFS order must be exactly the sibling chain.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    NodeId expect = i + 1 < leaves.size() ? leaves[i + 1].first : NodeId{};
+    if (leaves[i].second != expect) {
+      err = "broken leaf sibling chain";
+      if (report != nullptr) *report = err;
+      co_return Status::Internal(err);
+    }
+  }
+  co_return Status::OK();
+}
+
+}  // namespace dmrpc::kv

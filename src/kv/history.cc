@@ -1,0 +1,151 @@
+#include "kv/history.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dmrpc::kv {
+
+namespace {
+
+/// Iterative DFS cycle detection (colors: 0 white, 1 on stack, 2 done).
+/// On a cycle, fills *cycle with the txn ids along it.
+bool FindCycle(const std::vector<std::vector<size_t>>& adj,
+               const std::vector<uint64_t>& ids,
+               std::vector<uint64_t>* cycle) {
+  const size_t n = adj.size();
+  std::vector<uint8_t> color(n, 0);
+  std::vector<size_t> parent(n, SIZE_MAX);
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (node, next-edge idx)
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [u, ei] = stack.back();
+      if (ei < adj[u].size()) {
+        size_t v = adj[u][ei++];
+        if (color[v] == 0) {
+          color[v] = 1;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == 1) {
+          // Found a back edge u -> v: walk parents from u back to v.
+          cycle->clear();
+          cycle->push_back(ids[v]);
+          for (size_t w = u; w != v; w = parent[w]) cycle->push_back(ids[w]);
+          cycle->push_back(ids[v]);
+          std::reverse(cycle->begin(), cycle->end());
+          return true;
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status HistoryRecorder::CheckConflictSerializable(std::string* detail) const {
+  // Node 0 is the virtual loader transaction (id 0).
+  std::vector<uint64_t> ids;
+  ids.push_back(0);
+  std::unordered_map<uint64_t, size_t> index;
+  index.emplace(0, 0);
+  for (const TxnRecord& r : records_) {
+    if (index.count(r.id) != 0) {
+      std::ostringstream os;
+      os << "duplicate committed txn id " << r.id;
+      if (detail != nullptr) *detail = os.str();
+      return Status::Internal(os.str());
+    }
+    index.emplace(r.id, ids.size());
+    ids.push_back(r.id);
+  }
+
+  // Reads-from-committed: every observed version must be a committed
+  // transaction (or the loader).
+  for (const TxnRecord& r : records_) {
+    for (const auto& [key, observed] : r.reads) {
+      if (index.count(observed) == 0) {
+        std::ostringstream os;
+        os << "txn " << r.id << " read key " << key
+           << " from uncommitted/unknown txn " << observed;
+        if (detail != nullptr) *detail = os.str();
+        return Status::Internal(os.str());
+      }
+    }
+  }
+
+  // Per-key writer chains in commit order.
+  std::unordered_map<uint64_t, std::vector<const TxnRecord*>> writers;
+  for (const TxnRecord& r : records_) {
+    for (uint64_t key : r.write_keys) writers[key].push_back(&r);
+  }
+  for (auto& [key, chain] : writers) {
+    std::sort(chain.begin(), chain.end(),
+              [](const TxnRecord* x, const TxnRecord* y) {
+                return x->commit_seq < y->commit_seq;
+              });
+  }
+
+  std::vector<std::vector<size_t>> adj(ids.size());
+  std::vector<std::unordered_set<size_t>> seen(ids.size());
+  auto add_edge = [&](size_t from, size_t to) {
+    if (from == to) return;
+    if (seen[from].insert(to).second) adj[from].push_back(to);
+  };
+
+  // WW: consecutive writers of one key; the loader precedes the first.
+  for (const auto& [key, chain] : writers) {
+    size_t prev = 0;  // loader
+    for (const TxnRecord* w : chain) {
+      add_edge(prev, index.at(w->id));
+      prev = index.at(w->id);
+    }
+  }
+
+  // WR and RW from the observed versions.
+  for (const TxnRecord& r : records_) {
+    size_t reader = index.at(r.id);
+    for (const auto& [key, observed] : r.reads) {
+      size_t writer = index.at(observed);
+      add_edge(writer, reader);  // WR
+      // RW: reader precedes the observed writer's successor on this key.
+      auto it = writers.find(key);
+      if (it == writers.end()) continue;
+      const auto& chain = it->second;
+      size_t pos = 0;
+      if (observed != 0) {
+        while (pos < chain.size() && chain[pos]->id != observed) ++pos;
+        if (pos == chain.size()) {
+          std::ostringstream os;
+          os << "txn " << r.id << " observed version " << observed
+             << " on key " << key << " but that txn never wrote the key";
+          if (detail != nullptr) *detail = os.str();
+          return Status::Internal(os.str());
+        }
+        ++pos;  // successor of the observed writer
+      }
+      if (pos < chain.size() && chain[pos]->id != r.id) {
+        add_edge(reader, index.at(chain[pos]->id));
+      }
+    }
+  }
+
+  std::vector<uint64_t> cycle;
+  if (FindCycle(adj, ids, &cycle)) {
+    std::ostringstream os;
+    os << "precedence cycle:";
+    for (uint64_t id : cycle) os << " " << id;
+    if (detail != nullptr) *detail = os.str();
+    return Status::Internal(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace dmrpc::kv

@@ -1,0 +1,272 @@
+#ifndef DMRPC_KV_NODE_H_
+#define DMRPC_KV_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "dm/ref.h"
+
+namespace dmrpc::kv {
+
+/// How B+-tree clients reach node pages in disaggregated memory. The
+/// bytes moved are identical; what differs is the access machinery --
+/// exactly the comparison bench/ycsb measures.
+enum class AccessMode : uint8_t {
+  /// Map each node once (map_ref), then rread through the per-process VA
+  /// mapping: the pass-by-value shape, with per-page server-side
+  /// translation and client VA state.
+  kByValue = 0,
+  /// fetch_ref by key on every access: DmRPC's pass-by-reference fast
+  /// path -- no mapping, no per-client VA state on the DM server.
+  kByRef = 1,
+  /// CXL-shared: nodes live in G-FAM frames read with load semantics
+  /// through the host's CXL port -- no RPC on the read path at all.
+  kCxlShared = 2,
+};
+
+inline const char* AccessModeName(AccessMode m) {
+  switch (m) {
+    case AccessMode::kByValue:
+      return "by-value";
+    case AccessMode::kByRef:
+      return "by-ref";
+    case AccessMode::kCxlShared:
+      return "cxl-shared";
+  }
+  return "?";
+}
+
+/// Backend-portable name of one tree node, small enough to embed in
+/// parent pages (16 bytes). Raw RemoteAddrs cannot name nodes across
+/// clients -- VA mappings are per-process -- so child pointers store the
+/// Ref essentials instead and each client rebuilds the Ref it needs:
+///  - kNet: a = the DM server's ref key, b = the server's fabric node.
+///  - kCxl: a = the G-FAM physical page number, b = kCxlMarker.
+struct NodeId {
+  static constexpr uint64_t kCxlMarker = ~uint64_t{0};
+
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  bool null() const { return a == 0 && b == 0; }
+
+  friend bool operator==(const NodeId& x, const NodeId& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator!=(const NodeId& x, const NodeId& y) {
+    return !(x == y);
+  }
+
+  /// FNV-1a over both words: the node's latch region (see btree.cc) and
+  /// its mapping-cache hash.
+  uint64_t Hash() const {
+    uint64_t h = 1469598103934665603ull;
+    const uint64_t words[2] = {a, b};
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(words);
+    for (size_t i = 0; i < sizeof(words); ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// Rebuilds the Ref this id names. `size` is the referenced byte count
+  /// (the page for tree nodes, kMetaBytes for the meta page).
+  dm::Ref ToRef(uint64_t size) const {
+    dm::Ref ref;
+    ref.size = size;
+    if (b == kCxlMarker) {
+      ref.backend = dm::Ref::Backend::kCxl;
+      ref.pages.push_back(static_cast<uint32_t>(a));
+    } else {
+      ref.backend = dm::Ref::Backend::kNet;
+      ref.server = static_cast<net::NodeId>(b);
+      ref.key = a;
+    }
+    return ref;
+  }
+
+  /// Inverse of ToRef. Requires a single-page Ref (every tree node is
+  /// exactly one DM page).
+  static NodeId FromRef(const dm::Ref& ref) {
+    NodeId id;
+    if (ref.backend == dm::Ref::Backend::kCxl) {
+      DMRPC_CHECK_EQ(ref.pages.size(), 1u) << "node refs are single-page";
+      id.a = ref.pages[0];
+      id.b = kCxlMarker;
+    } else {
+      id.a = ref.key;
+      id.b = ref.server;
+    }
+    return id;
+  }
+};
+
+struct NodeIdHash {
+  size_t operator()(const NodeId& id) const {
+    return static_cast<size_t>(id.Hash());
+  }
+};
+
+/// On-page layout (little-endian, fixed value size V, page size P):
+///   [0]   u8  is_leaf
+///   [1]   u8  reserved
+///   [2]   u16 nkeys
+///   [4]   u32 reserved
+///   [8]   NodeId next          (leaf chain; unused in inner nodes)
+///   [24]  leaf:  nkeys x { u64 key, u64 version, u8 value[V] }
+///         inner: NodeId child0, then nkeys x { u64 key, NodeId child }
+/// Leaf `version` is the id of the transaction that last wrote the entry
+/// (0 = initial load) -- what the serializability checker's WR edges are
+/// built from.
+inline constexpr uint64_t kNodeHeaderBytes = 24;
+
+/// Max entries that fit a page.
+inline constexpr uint32_t LeafCapacity(uint32_t page_size,
+                                       uint32_t value_size) {
+  return static_cast<uint32_t>((page_size - kNodeHeaderBytes) /
+                               (16 + value_size));
+}
+inline constexpr uint32_t InnerCapacity(uint32_t page_size) {
+  return static_cast<uint32_t>((page_size - kNodeHeaderBytes - 16) / 24);
+}
+
+/// Decoded in-memory form of one node page.
+struct Node {
+  bool leaf = true;
+  NodeId next;  // leaf chain (null at the rightmost leaf)
+  std::vector<uint64_t> keys;
+  // Leaf payload, parallel to keys.
+  std::vector<uint64_t> versions;
+  std::vector<std::vector<uint8_t>> values;
+  // Inner fanout: keys.size() + 1 entries.
+  std::vector<NodeId> children;
+
+  /// Serializes into exactly `page_size` bytes (zero-padded).
+  void EncodeTo(std::vector<uint8_t>* out, uint32_t page_size,
+                uint32_t value_size) const {
+    out->assign(page_size, 0);
+    uint8_t* p = out->data();
+    p[0] = leaf ? 1 : 0;
+    uint16_t n = static_cast<uint16_t>(keys.size());
+    std::memcpy(p + 2, &n, 2);
+    std::memcpy(p + 8, &next.a, 8);
+    std::memcpy(p + 16, &next.b, 8);
+    uint8_t* c = p + kNodeHeaderBytes;
+    if (leaf) {
+      DMRPC_CHECK_LE(kNodeHeaderBytes + keys.size() * (16 + value_size),
+                     page_size);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        std::memcpy(c, &keys[i], 8);
+        std::memcpy(c + 8, &versions[i], 8);
+        DMRPC_CHECK_EQ(values[i].size(), value_size);
+        std::memcpy(c + 16, values[i].data(), value_size);
+        c += 16 + value_size;
+      }
+    } else {
+      DMRPC_CHECK_LE(kNodeHeaderBytes + 16 + keys.size() * 24, page_size);
+      DMRPC_CHECK_EQ(children.size(), keys.size() + 1);
+      std::memcpy(c, &children[0].a, 8);
+      std::memcpy(c + 8, &children[0].b, 8);
+      c += 16;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        std::memcpy(c, &keys[i], 8);
+        std::memcpy(c + 8, &children[i + 1].a, 8);
+        std::memcpy(c + 16, &children[i + 1].b, 8);
+        c += 24;
+      }
+    }
+  }
+
+  static Node DecodeFrom(const uint8_t* p, size_t len, uint32_t value_size) {
+    DMRPC_CHECK_GE(len, kNodeHeaderBytes);
+    Node node;
+    node.leaf = p[0] != 0;
+    uint16_t n = 0;
+    std::memcpy(&n, p + 2, 2);
+    std::memcpy(&node.next.a, p + 8, 8);
+    std::memcpy(&node.next.b, p + 16, 8);
+    const uint8_t* c = p + kNodeHeaderBytes;
+    node.keys.reserve(n);
+    if (node.leaf) {
+      node.versions.reserve(n);
+      node.values.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        uint64_t k = 0, v = 0;
+        std::memcpy(&k, c, 8);
+        std::memcpy(&v, c + 8, 8);
+        node.keys.push_back(k);
+        node.versions.push_back(v);
+        node.values.emplace_back(c + 16, c + 16 + value_size);
+        c += 16 + value_size;
+      }
+    } else {
+      node.children.reserve(n + 1);
+      NodeId child;
+      std::memcpy(&child.a, c, 8);
+      std::memcpy(&child.b, c + 8, 8);
+      node.children.push_back(child);
+      c += 16;
+      for (uint16_t i = 0; i < n; ++i) {
+        uint64_t k = 0;
+        std::memcpy(&k, c, 8);
+        std::memcpy(&child.a, c + 8, 8);
+        std::memcpy(&child.b, c + 16, 8);
+        node.keys.push_back(k);
+        node.children.push_back(child);
+        c += 24;
+      }
+    }
+    return node;
+  }
+
+  /// Child slot `key` descends into: upper_bound over the separators
+  /// (separator == first key of the right subtree, so equal keys go
+  /// right).
+  size_t ChildFor(uint64_t key) const {
+    size_t i = 0;
+    while (i < keys.size() && key >= keys[i]) ++i;
+    return i;
+  }
+};
+
+/// The tree's root pointer page, kMetaBytes long so meta reads stay tiny
+/// in every access mode. Rewritten (under the meta latch) only when a
+/// structure modification moves the root.
+inline constexpr uint64_t kMetaBytes = 64;
+inline constexpr uint64_t kMetaMagic = 0x444d4b5642545245ull;  // "DMKVBTRE"
+
+struct MetaPage {
+  NodeId root;
+  uint64_t height = 1;  // levels including the leaf level
+
+  void EncodeTo(std::vector<uint8_t>* out) const {
+    out->assign(kMetaBytes, 0);
+    uint8_t* p = out->data();
+    uint64_t magic = kMetaMagic;
+    std::memcpy(p, &magic, 8);
+    std::memcpy(p + 8, &root.a, 8);
+    std::memcpy(p + 16, &root.b, 8);
+    std::memcpy(p + 24, &height, 8);
+  }
+
+  static StatusOr<MetaPage> DecodeFrom(const uint8_t* p, size_t len) {
+    if (len < kMetaBytes) return Status::Internal("short meta page");
+    uint64_t magic = 0;
+    std::memcpy(&magic, p, 8);
+    if (magic != kMetaMagic) return Status::Internal("bad meta magic");
+    MetaPage meta;
+    std::memcpy(&meta.root.a, p + 8, 8);
+    std::memcpy(&meta.root.b, p + 16, 8);
+    std::memcpy(&meta.height, p + 24, 8);
+    return meta;
+  }
+};
+
+}  // namespace dmrpc::kv
+
+#endif  // DMRPC_KV_NODE_H_

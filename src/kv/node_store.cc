@@ -1,0 +1,78 @@
+#include "kv/node_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dmrpc::kv {
+
+sim::Task<StatusOr<NodeId>> NodeStore::AllocNode(const uint8_t* data,
+                                                 uint64_t size) {
+  DMRPC_CHECK_LE(size, page_size_);
+  auto ref = co_await dm_->PutRef(data, size);
+  if (!ref.ok()) co_return ref.status();
+  stats_.node_allocs++;
+  co_return NodeId::FromRef(*ref);
+}
+
+sim::Task<Status> NodeStore::FreeNode(const NodeId& id, uint64_t size) {
+  // Drop our own mapping first (kByValue) so its page share doesn't
+  // outlive the node on this client's account.
+  auto it = mappings_.find(id);
+  if (it != mappings_.end()) {
+    Status st = co_await dm_->Free(it->second);
+    if (!st.ok()) co_return st;
+    mappings_.erase(it);
+  }
+  Status st = co_await dm_->ReleaseRef(id.ToRef(size));
+  if (!st.ok()) co_return st;
+  stats_.node_frees++;
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<std::vector<uint8_t>>> NodeStore::ReadNode(
+    const NodeId& id, uint64_t size) {
+  stats_.node_reads++;
+  if (mode_ == AccessMode::kByValue) {
+    auto it = mappings_.find(id);
+    if (it == mappings_.end()) {
+      auto addr = co_await dm_->MapRef(id.ToRef(size));
+      if (!addr.ok()) co_return addr.status();
+      it = mappings_.emplace(id, *addr).first;
+      stats_.map_faults++;
+    }
+    std::vector<uint8_t> bytes(size);
+    Status st = co_await dm_->Read(it->second, bytes.data(), size);
+    if (!st.ok()) co_return st;
+    co_return bytes;
+  }
+  // kByRef and kCxlShared share the fetch_ref shape; what differs is the
+  // substrate underneath (RPC to a DM server vs loads through the CXL
+  // port).
+  auto chain = co_await dm_->FetchRef(id.ToRef(size));
+  if (!chain.ok()) co_return chain.status();
+  std::vector<uint8_t> bytes(size);
+  DMRPC_CHECK_EQ(chain->remaining(), size);
+  chain->ReadBytes(bytes.data(), size);
+  co_return bytes;
+}
+
+sim::Task<Status> NodeStore::WriteNode(const NodeId& id, uint64_t offset,
+                                       const uint8_t* data, uint64_t size) {
+  stats_.node_writes++;
+  co_return co_await dm_->WriteRef(id.ToRef(page_size_ < offset + size
+                                                ? offset + size
+                                                : page_size_),
+                                   offset, data, size);
+}
+
+sim::Task<Status> NodeStore::Close() {
+  for (auto& [id, addr] : mappings_) {
+    Status st = co_await dm_->Free(addr);
+    if (!st.ok()) co_return st;
+  }
+  mappings_.clear();
+  co_return Status::OK();
+}
+
+}  // namespace dmrpc::kv

@@ -1,0 +1,78 @@
+#ifndef DMRPC_KV_NODE_STORE_H_
+#define DMRPC_KV_NODE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dm/client.h"
+#include "kv/node.h"
+#include "sim/task.h"
+
+namespace dmrpc::kv {
+
+/// Traffic counters of one client's node store.
+struct NodeStoreStats {
+  uint64_t node_allocs = 0;
+  uint64_t node_frees = 0;
+  uint64_t node_reads = 0;
+  uint64_t node_writes = 0;
+  uint64_t map_faults = 0;  // kByValue: first-touch map_ref round trips
+};
+
+/// Per-client access layer between the B+-tree and disaggregated memory:
+/// allocates node pages (put_ref), reads them back through the configured
+/// AccessMode, and mutates them in place with write_ref (DSM-style, no
+/// COW -- the tree's latches are the required synchronization).
+///
+/// kByValue keeps a NodeId -> RemoteAddr mapping cache: each node is
+/// map_ref'd on first touch and read with rread thereafter. Cached
+/// mappings of nodes freed by OTHER clients pin their frames (one share
+/// each) until Close(); that is safe -- ref keys are never reused, so a
+/// stale cache entry can never alias a new node -- but it is the
+/// per-client state cost the by-ref mode exists to avoid.
+class NodeStore {
+ public:
+  NodeStore(dm::DmClient* dm, AccessMode mode, uint32_t page_size)
+      : dm_(dm), mode_(mode), page_size_(page_size) {}
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  AccessMode mode() const { return mode_; }
+  uint32_t page_size() const { return page_size_; }
+  const NodeStoreStats& stats() const { return stats_; }
+
+  /// Places `size` bytes into a fresh DM region and names it.
+  sim::Task<StatusOr<NodeId>> AllocNode(const uint8_t* data, uint64_t size);
+
+  /// Releases the node's pages (and this client's cached mapping of it,
+  /// if any). `size` must match the allocation.
+  sim::Task<Status> FreeNode(const NodeId& id, uint64_t size);
+
+  /// Reads the node's current bytes.
+  sim::Task<StatusOr<std::vector<uint8_t>>> ReadNode(const NodeId& id,
+                                                     uint64_t size);
+
+  /// In-place write at `offset` into the node's region; visible to every
+  /// client immediately (no COW).
+  sim::Task<Status> WriteNode(const NodeId& id, uint64_t offset,
+                              const uint8_t* data, uint64_t size);
+
+  /// Drops every cached kByValue mapping (releasing their page shares).
+  /// Call when this client is done with the tree so frame-conservation
+  /// audits balance.
+  sim::Task<Status> Close();
+
+ private:
+  dm::DmClient* dm_;
+  AccessMode mode_;
+  uint32_t page_size_;
+  std::unordered_map<NodeId, dm::RemoteAddr, NodeIdHash> mappings_;
+  NodeStoreStats stats_;
+};
+
+}  // namespace dmrpc::kv
+
+#endif  // DMRPC_KV_NODE_STORE_H_

@@ -1,0 +1,232 @@
+#include "kv/txn.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/simulation.h"
+
+namespace dmrpc::kv {
+
+using dsm::LockMode;
+using dsm::LockPolicy;
+
+namespace {
+
+LockPolicy ToLockPolicy(CcPolicy p) {
+  return p == CcPolicy::kNoWait ? LockPolicy::kNoWait : LockPolicy::kWaitDie;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- Txn
+
+sim::Task<Status> Txn::LockRecord(uint64_t key, LockMode mode) {
+  auto it = locks_.find(key);
+  if (it != locks_.end() &&
+      (it->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+    co_return Status::OK();  // already held strongly enough
+  }
+  Status st = co_await mgr_->locks_->Acquire(
+      LockRegion(key), mode, id_, ts_, ToLockPolicy(mgr_->policy_));
+  if (st.ok()) {
+    locks_[key] = mode;  // fresh grant or S->X upgrade
+  } else if (st.code() == StatusCode::kAborted) {
+    mgr_->stats_.lock_aborts++;
+  }
+  co_return st;
+}
+
+sim::Task<Status> Txn::ReleaseLocks() {
+  Status first = Status::OK();
+  for (const auto& [key, mode] : locks_) {
+    Status st = co_await mgr_->locks_->Release(LockRegion(key), mode, id_);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  locks_.clear();
+  co_return first;
+}
+
+sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> Txn::Get(
+    uint64_t key) {
+  co_return co_await GetLocked(key, LockMode::kShared);
+}
+
+sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> Txn::GetForUpdate(
+    uint64_t key) {
+  co_return co_await GetLocked(key, LockMode::kExclusive);
+}
+
+sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> Txn::GetLocked(
+    uint64_t key, LockMode mode) {
+  DMRPC_CHECK(!done_) << "Get on finished txn";
+  auto w = writes_.find(key);
+  if (w != writes_.end()) co_return w->second;  // read-your-writes
+  Status st = co_await LockRecord(key, mode);
+  if (!st.ok()) co_return st;
+  auto entry = co_await mgr_->tree_->Get(key);
+  if (!entry.ok()) co_return entry.status();
+  if (entry->has_value()) {
+    reads_.emplace(key, (*entry)->version);
+    co_return std::optional<std::vector<uint8_t>>((*entry)->value);
+  }
+  // Absent key: observed the loader state (version 0). Sound because the
+  // checked concurrent workloads are delete-free -- see history.h.
+  reads_.emplace(key, 0);
+  co_return std::optional<std::vector<uint8_t>>();
+}
+
+sim::Task<Status> Txn::Put(uint64_t key, const uint8_t* value) {
+  DMRPC_CHECK(!done_) << "Put on finished txn";
+  Status st = co_await LockRecord(key, LockMode::kExclusive);
+  if (!st.ok()) co_return st;
+  writes_[key] = std::vector<uint8_t>(
+      value, value + mgr_->tree_->config().value_size);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Txn::Delete(uint64_t key) {
+  DMRPC_CHECK(!done_) << "Delete on finished txn";
+  Status st = co_await LockRecord(key, LockMode::kExclusive);
+  if (!st.ok()) co_return st;
+  writes_[key] = std::nullopt;
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<std::vector<KvEntry>>> Txn::Scan(uint64_t start_key,
+                                                    uint32_t max_items) {
+  DMRPC_CHECK(!done_) << "Scan on finished txn";
+  // Lock -> re-scan until a scan returns only keys locked BEFORE it ran;
+  // those entries are then stable (S held, writers blocked).
+  std::vector<KvEntry> stable;
+  bool settled = false;
+  for (int attempt = 0; attempt < 5 && !settled; ++attempt) {
+    auto res = co_await mgr_->tree_->Scan(start_key, max_items);
+    if (!res.ok()) co_return res.status();
+    settled = true;
+    for (const KvEntry& e : *res) {
+      if (locks_.count(e.key) != 0 || writes_.count(e.key) != 0) continue;
+      Status st = co_await LockRecord(e.key, LockMode::kShared);
+      if (!st.ok()) co_return st;
+      settled = false;
+    }
+    if (settled) stable = std::move(*res);
+  }
+  if (!settled) {
+    co_return Status::Aborted("scan could not stabilize under churn");
+  }
+  for (const KvEntry& e : stable) reads_.emplace(e.key, e.version);
+  // Overlay this txn's own buffered writes on the range.
+  auto lo = writes_.lower_bound(start_key);
+  if (lo != writes_.end()) {
+    std::map<uint64_t, KvEntry> merged;
+    for (KvEntry& e : stable) merged.emplace(e.key, std::move(e));
+    for (auto it = lo; it != writes_.end(); ++it) {
+      if (it->second.has_value()) {
+        merged[it->first] = KvEntry{it->first, id_, *it->second};
+      } else {
+        merged.erase(it->first);
+      }
+    }
+    stable.clear();
+    for (auto& [key, e] : merged) {
+      if (stable.size() >= max_items) break;
+      stable.push_back(std::move(e));
+    }
+  }
+  co_return stable;
+}
+
+sim::Task<Status> Txn::Commit() {
+  DMRPC_CHECK(!done_) << "Commit on finished txn";
+  // Apply the write set under the held X locks. Tree latches are kQueue
+  // (never abort) and record locks are already ours, so failures here
+  // are infrastructure errors, not concurrency-control outcomes.
+  for (const auto& [key, value] : writes_) {
+    if (value.has_value()) {
+      auto r = co_await mgr_->tree_->Upsert(key, value->data(), id_);
+      if (!r.ok()) {
+        co_await ReleaseLocks();
+        done_ = true;
+        mgr_->stats_.aborted++;
+        co_return r.status();
+      }
+    } else {
+      auto r = co_await mgr_->tree_->Erase(key);
+      if (!r.ok()) {
+        co_await ReleaseLocks();
+        done_ = true;
+        mgr_->stats_.aborted++;
+        co_return r.status();
+      }
+    }
+  }
+  if (mgr_->history_ != nullptr) {
+    TxnRecord rec;
+    rec.id = id_;
+    rec.commit_seq = mgr_->history_->NextCommitSeq();
+    rec.reads = reads_;
+    for (const auto& [key, value] : writes_) rec.write_keys.insert(key);
+    mgr_->history_->Record(std::move(rec));
+  }
+  Status st = co_await ReleaseLocks();
+  done_ = true;
+  mgr_->stats_.committed++;
+  co_return st;
+}
+
+sim::Task<Status> Txn::Abort() {
+  if (done_) co_return Status::OK();
+  done_ = true;
+  mgr_->stats_.aborted++;
+  writes_.clear();
+  co_return co_await ReleaseLocks();
+}
+
+// ----------------------------------------------------------------- TxnMgr
+
+uint64_t TxnMgr::NextTxnId() {
+  // Time-prefixed, so smaller id == older transaction: exactly the
+  // WAIT_DIE age. Unique as long as one client begins < 4096 txns in a
+  // single virtual nanosecond (each txn spans many RPC round trips).
+  uint64_t now = static_cast<uint64_t>(sim::Simulation::Current()->Now());
+  return (now << 20) | (uint64_t{client_id_ & 0xFF} << 12) |
+         (seq_++ & 0xFFF);
+}
+
+Txn TxnMgr::Begin() {
+  stats_.begun++;
+  uint64_t id = NextTxnId();
+  return Txn(this, id, id);
+}
+
+sim::Task<Status> TxnMgr::RunTxn(
+    const std::function<sim::Task<Status>(Txn&)>& body,
+    uint32_t max_attempts) {
+  uint64_t first_ts = 0;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Txn txn = Begin();
+    if (first_ts == 0) {
+      first_ts = txn.ts_;
+    } else {
+      txn.ts_ = first_ts;  // keep the WAIT_DIE age of the first attempt
+    }
+    Status st = co_await body(txn);
+    if (st.ok()) st = co_await txn.Commit();
+    if (st.ok()) co_return st;
+    co_await txn.Abort();
+    if (st.code() != StatusCode::kAborted) co_return st;
+    stats_.retries++;
+    // Deterministic exponential backoff (capped) with a seeded-rng
+    // jitter so retrying transactions don't re-collide in lockstep;
+    // past the contention knee this is what keeps goodput on a plateau
+    // instead of collapsing into a retry storm.
+    uint32_t shift = attempt < 7 ? attempt : 7;
+    uint64_t backoff_ns =
+        500 * (uint64_t{1} << shift) +
+        (sim::Simulation::Current()->rng().Next() % 2048);
+    co_await sim::Delay(backoff_ns);
+  }
+  co_return Status::Aborted("txn retry budget exhausted");
+}
+
+}  // namespace dmrpc::kv

@@ -1,0 +1,151 @@
+#ifndef DMRPC_KV_TXN_H_
+#define DMRPC_KV_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "dsm/lock_server.h"
+#include "kv/btree.h"
+#include "kv/history.h"
+#include "sim/task.h"
+
+namespace dmrpc::kv {
+
+/// Record-lock conflict behavior (maps onto dsm::LockPolicy).
+enum class CcPolicy : uint8_t { kNoWait = 0, kWaitDie = 1 };
+
+inline const char* CcPolicyName(CcPolicy p) {
+  return p == CcPolicy::kNoWait ? "no-wait" : "wait-die";
+}
+
+struct TxnStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t lock_aborts = 0;  // acquires killed by the policy
+  uint64_t retries = 0;      // RunTxn re-executions after an abort
+};
+
+class TxnMgr;
+
+/// One strict-2PL transaction over the shared B+-tree.
+///
+/// Reads take S record locks and go to the tree immediately; writes take
+/// X record locks at Put/Delete time but are buffered and applied at
+/// commit (tree upserts/erases stamped with the txn id), after which the
+/// commit sequence is drawn and only then are locks released -- strict
+/// two-phase locking, so the commit order is a valid serialization
+/// order. Any Aborted status (NO_WAIT conflict, WAIT_DIE death) must be
+/// surfaced out of the body so RunTxn can release and retry.
+class Txn {
+ public:
+  uint64_t id() const { return id_; }
+  uint64_t ts() const { return ts_; }
+  bool done() const { return done_; }
+
+  /// Read. nullopt = key absent. Read-your-writes: a key this txn wrote
+  /// is served from the write buffer without touching the tree.
+  sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> Get(uint64_t key);
+  /// Read that takes the X lock up front. Use for read-modify-write
+  /// keys: an S->X upgrade under NO_WAIT aborts whenever ANY other
+  /// reader holds the key, so upgrade-heavy workloads livelock without
+  /// this.
+  sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> GetForUpdate(
+      uint64_t key);
+  /// Buffered upsert; takes the X lock now. `value` must be
+  /// tree->config().value_size bytes.
+  sim::Task<Status> Put(uint64_t key, const uint8_t* value);
+  /// Buffered delete (tombstone); takes the X lock now.
+  sim::Task<Status> Delete(uint64_t key);
+  /// Range read: S-locks every key the scan returns (lock -> re-scan
+  /// loop until the result set is covered), overlays this txn's buffered
+  /// writes. Predicate phantoms are out of scope (see history.h).
+  sim::Task<StatusOr<std::vector<KvEntry>>> Scan(uint64_t start_key,
+                                                 uint32_t max_items);
+
+  /// Applies buffered writes (under the held X locks), draws the commit
+  /// sequence, records the history entry, releases locks.
+  sim::Task<Status> Commit();
+  /// Discards buffered writes and releases locks. Safe to call on a
+  /// finished txn (no-op) -- RunTxn aborts unconditionally on failure.
+  sim::Task<Status> Abort();
+
+ private:
+  friend class TxnMgr;
+  Txn(TxnMgr* mgr, uint64_t id, uint64_t ts) : mgr_(mgr), id_(id), ts_(ts) {}
+
+  /// The key's record-lock region: tag byte 0x4B ("K") -- disjoint from
+  /// the 0xB7 node-latch space.
+  static uint64_t LockRegion(uint64_t key) {
+    return (uint64_t{0x4B} << 56) | (key & ((uint64_t{1} << 56) - 1));
+  }
+
+  sim::Task<StatusOr<std::optional<std::vector<uint8_t>>>> GetLocked(
+      uint64_t key, dsm::LockMode mode);
+  /// Idempotent lock acquisition with S->X upgrade through the server.
+  sim::Task<Status> LockRecord(uint64_t key, dsm::LockMode mode);
+  sim::Task<Status> ReleaseLocks();
+
+  TxnMgr* mgr_;
+  uint64_t id_;
+  uint64_t ts_;
+  bool done_ = false;
+  std::map<uint64_t, dsm::LockMode> locks_;  // key -> held mode
+  std::map<uint64_t, uint64_t> reads_;       // key -> observed version
+  /// key -> new value; nullopt = tombstone.
+  std::map<uint64_t, std::optional<std::vector<uint8_t>>> writes_;
+};
+
+/// Per-client transaction factory: ids/timestamps, policy, shared
+/// history recorder, retry loop.
+class TxnMgr {
+ public:
+  /// `history` may be null (benchmarks that skip checking); `locks` is
+  /// the record-lock service handle (may be the same DsmLockClient the
+  /// tree uses for latches -- regions are tag-disjoint).
+  TxnMgr(BTree* tree, dsm::DsmLockClient* locks, HistoryRecorder* history,
+         CcPolicy policy, uint32_t client_id)
+      : tree_(tree),
+        locks_(locks),
+        history_(history),
+        policy_(policy),
+        client_id_(client_id) {}
+
+  TxnMgr(const TxnMgr&) = delete;
+  TxnMgr& operator=(const TxnMgr&) = delete;
+
+  Txn Begin();
+
+  /// Runs `body` in a fresh transaction, committing on OK. On Aborted
+  /// (from a lock or from Commit) the txn is rolled back and re-executed
+  /// with the SAME WAIT_DIE timestamp as the first attempt -- an aborted
+  /// transaction only ever gets older, so it eventually wins -- after a
+  /// deterministic, attempt-scaled backoff. Non-abort errors propagate.
+  sim::Task<Status> RunTxn(
+      const std::function<sim::Task<Status>(Txn&)>& body,
+      uint32_t max_attempts = 1000);
+
+  BTree* tree() { return tree_; }
+  CcPolicy policy() const { return policy_; }
+  const TxnStats& stats() const { return stats_; }
+
+ private:
+  friend class Txn;
+  uint64_t NextTxnId();
+
+  BTree* tree_;
+  dsm::DsmLockClient* locks_;
+  HistoryRecorder* history_;
+  CcPolicy policy_;
+  uint32_t client_id_;
+  uint32_t seq_ = 0;
+  TxnStats stats_;
+};
+
+}  // namespace dmrpc::kv
+
+#endif  // DMRPC_KV_TXN_H_

@@ -11,8 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
 
+#include "fault/fault.h"
+#include "kv/harness.h"
 #include "msvc/chaos.h"
+#include "sim/simulation.h"
 
 namespace dmrpc::msvc {
 namespace {
@@ -105,6 +109,146 @@ TEST(ChaosTest, CrashHeavyProfileStillConservesFrames) {
   opts.ops_per_actor = 40;
   ChaosReport rep = RunChaosIteration(opts);
   EXPECT_TRUE(rep.ok) << rep.Summary(opts.seed);
+}
+
+// A KV client crashes mid-transaction (FaultPlan crash) while holding
+// record locks the other clients want. The crash listener wires the same
+// recovery path production would: session reset + DM lease reclamation +
+// LockServer::ReclaimClient. The survivors must then run to completion
+// (the dead client's locks were released, no lost wakeups) and the
+// shared B+-tree must still satisfy every structural invariant.
+TEST(ChaosTest, KvClientCrashReleasesItsLocksAndTreeSurvives) {
+  using kv::KvCluster;
+  using kv::KvClusterConfig;
+
+  sim::Simulation sim(101);
+  KvClusterConfig cfg;
+  cfg.mode = kv::AccessMode::kByRef;
+  cfg.policy = kv::CcPolicy::kWaitDie;  // waiters exist -> wakeups matter
+  cfg.num_clients = 3;
+  cfg.value_size = 16;
+  cfg.record_history = false;  // a crash mid-commit can orphan versions
+  KvCluster kvc(&sim, cfg);
+  constexpr uint64_t kHotKeys = 8;
+  const net::NodeId victim_node = kvc.client_node(2);
+
+  std::optional<Status> setup;
+  auto boot = [&]() -> sim::Task<> {
+    Status st = co_await kvc.Init();
+    if (st.ok()) st = co_await kvc.Load(32);
+    setup = st;
+  };
+  sim.Spawn(boot());
+  sim.RunFor(60 * kSecond);
+  ASSERT_TRUE(setup.has_value() && setup->ok())
+      << (setup.has_value() ? setup->ToString() : "boot hung");
+
+  fault::FaultInjector injector(kvc.cluster()->fabric());
+  injector.AddNodeListener([&](net::NodeId node, fault::NodeEvent ev) {
+    if (ev != fault::NodeEvent::kCrash) return;
+    for (uint32_t i = 0; i < cfg.num_clients; ++i) {
+      if (kvc.client_node(i) == node) {
+        kvc.client(i).ep->rpc()->ResetAllSessions(
+            Status::Aborted("node crashed"));
+      }
+    }
+    for (size_t s = 0; s < kvc.cluster()->num_dm_servers(); ++s) {
+      kvc.cluster()->dm_server(s)->ReclaimPeer(node);
+    }
+    kvc.lock_server()->ReclaimClient(node);
+  });
+  fault::FaultPlan plan;
+  plan.Crash(victim_node, /*crash_ns=*/3 * kMillisecond,
+             /*restart_ns=*/60 * kMillisecond);
+  plan.ShiftBy(sim.Now());  // boot already consumed virtual time
+  injector.Schedule(plan);
+
+  // The victim hammers hot keys with update transactions until its host
+  // dies mid-stream (updates never split/merge, so its partial work is a
+  // clean page overwrite, not a half-done SMO).
+  bool victim_stopped = false;
+  auto victim = [&]() -> sim::Task<> {
+    for (int t = 0; t < 10000; ++t) {
+      if (!injector.IsNodeUp(victim_node)) break;
+      (void)co_await kvc.txns(2)->RunTxn(
+          [&](kv::Txn& txn) -> sim::Task<Status> {
+            if (!injector.IsNodeUp(victim_node)) {
+              co_return Status::Internal("host crashed");
+            }
+            for (uint64_t k = t % kHotKeys;
+                 k < kHotKeys; k += 3) {
+              auto got = co_await txn.GetForUpdate(k);
+              if (!got.ok()) co_return got.status();
+              std::vector<uint8_t> value =
+                  KvCluster::MakeValue(k, cfg.value_size, txn.id());
+              Status ps = co_await txn.Put(k, value.data());
+              if (!ps.ok()) co_return ps;
+            }
+            co_return Status::OK();
+          },
+          /*max_attempts=*/50);
+    }
+    victim_stopped = true;
+  };
+
+  int survivors_done = 0;
+  std::optional<Status> survivor_error;
+  auto survivor = [&](uint32_t who) -> sim::Task<> {
+    for (int t = 0; t < 60; ++t) {
+      Status st = co_await kvc.txns(who)->RunTxn(
+          [&](kv::Txn& txn) -> sim::Task<Status> {
+            uint64_t k = (t + who) % kHotKeys;
+            auto got = co_await txn.GetForUpdate(k);
+            if (!got.ok()) co_return got.status();
+            std::vector<uint8_t> value =
+                KvCluster::MakeValue(k, cfg.value_size, txn.id());
+            co_return co_await txn.Put(k, value.data());
+          });
+      if (!st.ok()) {
+        survivor_error = st;
+        co_return;
+      }
+    }
+    survivors_done++;
+  };
+  sim.Spawn(victim());
+  sim.Spawn(survivor(0));
+  sim.Spawn(survivor(1));
+  sim.RunFor(3600 * kSecond);
+
+  ASSERT_TRUE(victim_stopped) << "victim coroutine hung after its crash";
+  ASSERT_FALSE(survivor_error.has_value()) << survivor_error->ToString();
+  ASSERT_EQ(survivors_done, 2)
+      << "survivors hung: dead client's locks were not reclaimed";
+  EXPECT_GE(kvc.lock_server()->reclaims(), 1u);
+  // Every lock (victim's via reclamation, survivors' via 2PL release)
+  // is gone.
+  EXPECT_EQ(kvc.lock_server()->active_regions(), 0u);
+
+  // The tree survived: full structural audit through a survivor.
+  std::optional<Status> audit;
+  auto check = [&]() -> sim::Task<> {
+    std::string report;
+    Status st = co_await kvc.tree(0)->CheckInvariants(&report);
+    if (!st.ok()) {
+      audit = Status::Internal(report);
+      co_return;
+    }
+    auto all = co_await kvc.tree(0)->Scan(0, 1u << 20);
+    if (!all.ok()) {
+      audit = all.status();
+      co_return;
+    }
+    if (all->size() != 32) {
+      audit = Status::Internal("update-only run changed the key count");
+      co_return;
+    }
+    audit = co_await kvc.CloseAll();
+  };
+  sim.Spawn(check());
+  sim.RunFor(60 * kSecond);
+  ASSERT_TRUE(audit.has_value());
+  EXPECT_TRUE(audit->ok()) << audit->ToString();
 }
 
 }  // namespace

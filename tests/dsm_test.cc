@@ -271,5 +271,195 @@ TEST_F(DsmTest, WriteInPlaceIsVisibleToAllMappingsWithoutCow) {
   EXPECT_EQ(dm_server_->stats().cow_copies, 0u);
 }
 
+// ---------------------------------------------------------------------
+// Hardening regressions: double-release, crash reclamation, 2PL policies.
+
+TEST_F(DsmTest, ReleaseByNonHolderRejectedWithoutCorruption) {
+  InitAll();
+  std::optional<Status> stranger_st;
+  std::vector<TimeNs> granted_at;
+  auto holder = [&]() -> sim::Task<> {
+    (void)co_await locks_[0]->Lock(40, LockMode::kExclusive);
+    granted_at.push_back(sim_.Now());
+    co_await sim::Delay(2 * kMillisecond);
+    (void)co_await locks_[0]->Unlock(40, LockMode::kExclusive);
+  };
+  auto stranger = [&]() -> sim::Task<> {
+    co_await sim::Delay(200 * kMicrosecond);
+    // Double release by someone who never held the lock: must fail and
+    // must NOT free the lock out from under the real holder.
+    stranger_st = co_await locks_[1]->Unlock(40, LockMode::kExclusive);
+    (void)co_await locks_[1]->Lock(40, LockMode::kExclusive);
+    granted_at.push_back(sim_.Now());
+    (void)co_await locks_[1]->Unlock(40, LockMode::kExclusive);
+  };
+  sim_.Spawn(holder());
+  sim_.Spawn(stranger());
+  sim_.RunFor(30 * kSecond);
+  ASSERT_TRUE(stranger_st.has_value());
+  EXPECT_FALSE(stranger_st->ok()) << "release by non-holder accepted";
+  ASSERT_EQ(granted_at.size(), 2u);
+  // The stranger only got in after the holder's full critical section.
+  EXPECT_GE(granted_at[1] - granted_at[0], 2 * kMillisecond);
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
+TEST_F(DsmTest, ReclaimClientReleasesLocksAndWakesWaiters) {
+  InitAll();
+  bool holder_granted = false;
+  std::optional<Status> waiter_st;
+  auto holder = [&]() -> sim::Task<> {
+    (void)co_await locks_[0]->Lock(41, LockMode::kExclusive);
+    holder_granted = true;
+    // Never releases: this client will "crash".
+  };
+  auto waiter = [&]() -> sim::Task<> {
+    co_await sim::Delay(500 * kMicrosecond);
+    waiter_st = co_await locks_[1]->Lock(41, LockMode::kExclusive);
+    (void)co_await locks_[1]->Unlock(41, LockMode::kExclusive);
+  };
+  sim_.Spawn(holder());
+  sim_.Spawn(waiter());
+  sim_.RunFor(2 * kMillisecond);
+  ASSERT_TRUE(holder_granted);
+  ASSERT_FALSE(waiter_st.has_value()) << "waiter got the lock too early";
+  // Client 0's host dies; reclamation must hand the lock to the waiter
+  // instead of losing the wakeup forever. (Runs inside the simulation,
+  // as the fault layer's crash listener would.)
+  auto reclaim = [&]() -> sim::Task<> {
+    lock_server_->ReclaimClient(0);
+    co_return;
+  };
+  sim_.Spawn(reclaim());
+  sim_.RunFor(10 * kSecond);
+  ASSERT_TRUE(waiter_st.has_value()) << "lost wakeup after holder crash";
+  EXPECT_TRUE(waiter_st->ok());
+  EXPECT_GE(lock_server_->reclaims(), 1u);
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
+TEST_F(DsmTest, ReclaimClientAbortsItsQueuedWaiters) {
+  InitAll();
+  std::optional<Status> dead_waiter_st;
+  std::optional<Status> live_waiter_st;
+  auto holder = [&]() -> sim::Task<> {
+    (void)co_await locks_[0]->Lock(42, LockMode::kExclusive);
+    co_await sim::Delay(5 * kMillisecond);
+    (void)co_await locks_[0]->Unlock(42, LockMode::kExclusive);
+  };
+  auto dead_waiter = [&]() -> sim::Task<> {
+    co_await sim::Delay(200 * kMicrosecond);
+    dead_waiter_st = co_await locks_[1]->Lock(42, LockMode::kExclusive);
+  };
+  auto live_waiter = [&]() -> sim::Task<> {
+    co_await sim::Delay(400 * kMicrosecond);
+    live_waiter_st = co_await locks_[2]->Lock(42, LockMode::kExclusive);
+    (void)co_await locks_[2]->Unlock(42, LockMode::kExclusive);
+  };
+  sim_.Spawn(holder());
+  sim_.Spawn(dead_waiter());
+  sim_.Spawn(live_waiter());
+  sim_.RunFor(1 * kMillisecond);
+  // Client 1 dies while queued; its withheld response must complete
+  // (Aborted) so the handler coroutine doesn't leak, and client 2 must
+  // still get the lock after the holder releases.
+  auto reclaim = [&]() -> sim::Task<> {
+    lock_server_->ReclaimClient(1);
+    co_return;
+  };
+  sim_.Spawn(reclaim());
+  sim_.RunFor(30 * kSecond);
+  ASSERT_TRUE(dead_waiter_st.has_value()) << "dead waiter's RPC leaked";
+  EXPECT_EQ(dead_waiter_st->code(), StatusCode::kAborted)
+      << dead_waiter_st->ToString();
+  ASSERT_TRUE(live_waiter_st.has_value()) << "surviving waiter starved";
+  EXPECT_TRUE(live_waiter_st->ok());
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
+TEST_F(DsmTest, NoWaitConflictAbortsImmediately) {
+  InitAll();
+  std::optional<Status> second_st;
+  std::optional<TimeNs> second_done;
+  auto driver = [&]() -> sim::Task<> {
+    (void)co_await locks_[0]->Acquire(43, LockMode::kShared, /*owner=*/1,
+                                      /*ts=*/1, LockPolicy::kNoWait);
+    TimeNs start = sim_.Now();
+    second_st = co_await locks_[1]->Acquire(43, LockMode::kExclusive,
+                                            /*owner=*/2, /*ts=*/2,
+                                            LockPolicy::kNoWait);
+    second_done = sim_.Now() - start;
+    (void)co_await locks_[0]->Release(43, LockMode::kShared, /*owner=*/1);
+  };
+  sim_.Spawn(driver());
+  sim_.RunFor(10 * kSecond);
+  ASSERT_TRUE(second_st.has_value());
+  EXPECT_EQ(second_st->code(), StatusCode::kAborted);
+  // The abort came back in one round trip, not after a lock wait.
+  EXPECT_LT(*second_done, 1 * kMillisecond);
+  EXPECT_GE(lock_server_->aborts(), 1u);
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
+TEST_F(DsmTest, WaitDieOlderWaitsYoungerDies) {
+  InitAll();
+  std::optional<Status> young_st;
+  std::optional<Status> old_st;
+  auto driver = [&]() -> sim::Task<> {
+    // ts 10 holds the lock.
+    (void)co_await locks_[0]->Acquire(44, LockMode::kExclusive, /*owner=*/1,
+                                      /*ts=*/10, LockPolicy::kWaitDie);
+    // Younger (larger ts) requester dies immediately.
+    young_st = co_await locks_[1]->Acquire(44, LockMode::kExclusive,
+                                           /*owner=*/2, /*ts=*/20,
+                                           LockPolicy::kWaitDie);
+    co_return;
+  };
+  auto older = [&]() -> sim::Task<> {
+    co_await sim::Delay(500 * kMicrosecond);
+    // Older (smaller ts) requester is allowed to wait for the grant.
+    old_st = co_await locks_[2]->Acquire(44, LockMode::kExclusive,
+                                         /*owner=*/3, /*ts=*/5,
+                                         LockPolicy::kWaitDie);
+    (void)co_await locks_[2]->Release(44, LockMode::kExclusive, /*owner=*/3);
+  };
+  auto releaser = [&]() -> sim::Task<> {
+    co_await sim::Delay(3 * kMillisecond);
+    (void)co_await locks_[0]->Release(44, LockMode::kExclusive, /*owner=*/1);
+  };
+  sim_.Spawn(driver());
+  sim_.Spawn(older());
+  sim_.Spawn(releaser());
+  sim_.RunFor(30 * kSecond);
+  ASSERT_TRUE(young_st.has_value());
+  EXPECT_EQ(young_st->code(), StatusCode::kAborted) << young_st->ToString();
+  ASSERT_TRUE(old_st.has_value()) << "older waiter never granted";
+  EXPECT_TRUE(old_st->ok());
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
+TEST_F(DsmTest, SharedToExclusiveUpgradeInPlace) {
+  InitAll();
+  std::optional<Status> up_st;
+  auto driver = [&]() -> sim::Task<> {
+    (void)co_await locks_[0]->Acquire(45, LockMode::kShared, /*owner=*/1,
+                                      /*ts=*/1, LockPolicy::kNoWait);
+    // Sole S holder upgrading to X must succeed without deadlocking on
+    // itself.
+    up_st = co_await locks_[0]->Acquire(45, LockMode::kExclusive,
+                                        /*owner=*/1, /*ts=*/1,
+                                        LockPolicy::kNoWait);
+    (void)co_await locks_[0]->Release(45, LockMode::kExclusive, /*owner=*/1);
+  };
+  sim_.Spawn(driver());
+  sim_.RunFor(10 * kSecond);
+  ASSERT_TRUE(up_st.has_value());
+  EXPECT_TRUE(up_st->ok()) << up_st->ToString();
+  EXPECT_GE(lock_server_->upgrades(), 1u);
+  // One release of the upgraded lock fully drains the region: the grant
+  // was upgraded in place, not double-counted.
+  EXPECT_EQ(lock_server_->active_regions(), 0u);
+}
+
 }  // namespace
 }  // namespace dmrpc::dsm
