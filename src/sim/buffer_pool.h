@@ -1,10 +1,12 @@
 #ifndef DMRPC_SIM_BUFFER_POOL_H_
 #define DMRPC_SIM_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -18,8 +20,11 @@ namespace internal {
 /// Header preceding every pooled byte buffer. The payload bytes follow
 /// the header in the same allocation.
 struct BufSlab {
-  BufferPool* pool;     // nullptr: unpooled, freed on last release
-  uint32_t refcnt;
+  BufferPool* pool;  // nullptr: unpooled, freed on last release
+  /// Atomic so packet buffers can cross LP boundaries under the parallel
+  /// engine: a slab referenced from two logical processes may gain and
+  /// drop handles on two worker threads in the same window.
+  std::atomic<uint32_t> refcnt;
   uint32_t size_class;  // freelist index; valid only when pool != nullptr
   uint32_t capacity;
   uint32_t len;
@@ -49,21 +54,27 @@ void ReleaseSlab(BufSlab* slab);
 /// covers those callers; hot paths use Acquire + AppendRaw/AppendBytes,
 /// which never zero-fill.
 ///
-/// Not thread-safe (the simulator is single-threaded by design); the
-/// refcount is a plain integer.
+/// Reference counting is thread-safe (the parallel engine forwards
+/// packets holding slab references across worker threads); mutation of
+/// the bytes and length is not, and stays confined to one logical
+/// process at a time by the engine's window discipline.
 class PooledBuf {
  public:
   PooledBuf() = default;
   PooledBuf(std::initializer_list<uint8_t> bytes) { Assign(bytes); }
 
   PooledBuf(const PooledBuf& other) : slab_(other.slab_) {
-    if (slab_ != nullptr) ++slab_->refcnt;
+    if (slab_ != nullptr) {
+      slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   PooledBuf& operator=(const PooledBuf& other) {
     if (this != &other) {
       Release();
       slab_ = other.slab_;
-      if (slab_ != nullptr) ++slab_->refcnt;
+      if (slab_ != nullptr) {
+        slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return *this;
   }
@@ -100,7 +111,10 @@ class PooledBuf {
   uint8_t operator[](size_t i) const { return slab_->bytes()[i]; }
 
   /// Number of handles sharing the underlying slab (0 when empty).
-  uint32_t ref_count() const { return slab_ != nullptr ? slab_->refcnt : 0; }
+  uint32_t ref_count() const {
+    return slab_ != nullptr ? slab_->refcnt.load(std::memory_order_acquire)
+                            : 0;
+  }
 
   /// Drops this handle's reference; the buffer becomes empty. Inline
   /// fast path: packet handles are moved and destroyed many times per
@@ -176,11 +190,15 @@ class BufSlice {
 
   BufSlice(const BufSlice& other)
       : slab_(other.slab_), off_(other.off_), len_(other.len_) {
-    if (slab_ != nullptr) ++slab_->refcnt;
+    if (slab_ != nullptr) {
+      slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   BufSlice& operator=(const BufSlice& other) {
     if (this != &other) {
-      if (other.slab_ != nullptr) ++other.slab_->refcnt;
+      if (other.slab_ != nullptr) {
+        other.slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+      }
       Release();
       slab_ = other.slab_;
       off_ = other.off_;
@@ -210,7 +228,9 @@ class BufSlice {
   /// A view of bytes [off, off+len) of `buf` (shares a reference).
   static BufSlice Of(const PooledBuf& buf, size_t off, size_t len) {
     DMRPC_CHECK_LE(off + len, buf.size());
-    if (buf.slab_ != nullptr) ++buf.slab_->refcnt;
+    if (buf.slab_ != nullptr) {
+      buf.slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+    }
     return BufSlice(buf.slab_, static_cast<uint32_t>(off),
                     static_cast<uint32_t>(len));
   }
@@ -219,7 +239,9 @@ class BufSlice {
   /// the slice, not the slab).
   BufSlice Sub(size_t off, size_t len) const {
     DMRPC_CHECK_LE(off + len, len_);
-    if (slab_ != nullptr) ++slab_->refcnt;
+    if (slab_ != nullptr) {
+      slab_->refcnt.fetch_add(1, std::memory_order_relaxed);
+    }
     return BufSlice(slab_, off_ + static_cast<uint32_t>(off),
                     static_cast<uint32_t>(len));
   }
@@ -235,13 +257,19 @@ class BufSlice {
   bool empty() const { return len_ == 0; }
 
   /// Number of handles (PooledBuf or BufSlice) sharing the slab.
-  uint32_t ref_count() const { return slab_ != nullptr ? slab_->refcnt : 0; }
+  uint32_t ref_count() const {
+    return slab_ != nullptr ? slab_->refcnt.load(std::memory_order_acquire)
+                            : 0;
+  }
 
   /// Bytes that can still be appended in place: non-zero only when this
   /// slice is the slab's sole owner and ends exactly at the slab's write
   /// frontier.
   size_t spare_capacity() const {
-    if (slab_ == nullptr || slab_->refcnt != 1) return 0;
+    if (slab_ == nullptr ||
+        slab_->refcnt.load(std::memory_order_acquire) != 1) {
+      return 0;
+    }
     if (off_ + len_ != slab_->len) return 0;
     return slab_->capacity - slab_->len;
   }
@@ -333,6 +361,11 @@ class BufferPool {
 
   void Return(internal::BufSlab* slab);
 
+  /// Guards the freelists and stats: under the parallel engine, slabs are
+  /// leased from LP 0 but released from whichever worker drops the last
+  /// packet reference. Uncontended in practice (one lock per lease or
+  /// return, not per refcount operation).
+  mutable std::mutex mu_;
   std::vector<internal::BufSlab*> free_[kNumClasses];
   Stats stats_;
 };

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/config.h"
 #include "net/fabric.h"
+#include "net/topology.h"
 #include "rpc/rpc.h"
 #include "rpc/wire.h"
 #include "sim/simulation.h"
@@ -103,6 +105,92 @@ TEST(DeterminismTest, IdenticallySeededRunsAreByteIdentical) {
   EXPECT_EQ(a.executed_events, b.executed_events);
   EXPECT_EQ(a.ok_calls, b.ok_calls);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine: the LP decomposition must be invisible in results.
+// The same seeded Clos workload runs on the sequential engine and on the
+// LP engine at 1, 2, and 8 worker threads; every run must produce the
+// same executed-event count, the same completed calls, and a
+// byte-identical metrics dump. Cross-leaf traffic guarantees the
+// switch-group LPs actually exchange events through the spines.
+// ---------------------------------------------------------------------------
+
+struct ClosOutcome {
+  uint64_t executed_events = 0;
+  std::string metrics_json;
+  uint64_t ok_calls = 0;
+  std::string trace_jsonl;
+};
+
+// worker_threads == 0 runs the legacy sequential engine; >= 1 runs the
+// LP engine (one LP per leaf plus the host LP). `traced` turns the
+// tracer on, which must pin the run to the serial-merge path and keep
+// the span stream byte-identical to the sequential engine's.
+ClosOutcome RunClosWorkload(uint64_t seed, int worker_threads, bool traced) {
+  ClosOutcome out;
+  sim::SimConfig scfg;
+  scfg.worker_threads = worker_threads;
+  sim::Simulation sim(seed, scfg);
+  if (traced) sim.tracer().set_enabled(true);
+  net::NetworkConfig cfg;  // lossless: rng-free switch LPs stay parallel
+  net::TopologyConfig topo = net::TopologyConfig::Clos(24, 2, 4, 64);
+  rpc::RpcConfig rcfg;
+  {
+    net::Fabric fabric(&sim, cfg, topo);
+    // One echo server per leaf on the leaf's first host; three clients
+    // per leaf, each calling the *next* leaf's server so every RPC
+    // crosses a spine.
+    const uint32_t hpl = topo.HostsPerLeaf();
+    std::vector<std::unique_ptr<rpc::Rpc>> servers;
+    std::vector<std::unique_ptr<rpc::Rpc>> clients;
+    for (uint32_t leaf = 0; leaf < topo.num_leaves; ++leaf) {
+      servers.push_back(
+          std::make_unique<rpc::Rpc>(&fabric, leaf * hpl, 100, rcfg));
+      servers.back()->RegisterHandler(1, EchoHandler);
+    }
+    for (uint32_t leaf = 0; leaf < topo.num_leaves; ++leaf) {
+      net::NodeId target = ((leaf + 1) % topo.num_leaves) * hpl;
+      for (uint32_t c = 1; c <= 3; ++c) {
+        clients.push_back(
+            std::make_unique<rpc::Rpc>(&fabric, leaf * hpl + c, 50, rcfg));
+        sim.Spawn(
+            ClientWorker(clients.back().get(), target, 15, &out.ok_calls));
+      }
+    }
+    sim.Run();
+  }
+  out.executed_events = sim.executed_events();
+  out.metrics_json = sim.DumpMetricsJson();
+  if (traced) {
+    std::ostringstream os;
+    sim.tracer().WriteJsonLines(os);
+    out.trace_jsonl = os.str();
+  }
+  return out;
+}
+
+TEST(DeterminismTest, ParallelClosRunsAreBitIdenticalToSequential) {
+  ClosOutcome seq = RunClosWorkload(99, 0, /*traced=*/false);
+  // Sanity: all 12 clients finished all 15 calls through the spines.
+  EXPECT_EQ(seq.ok_calls, 12u * 15u);
+  EXPECT_GT(seq.executed_events, 1000u);
+  for (int workers : {1, 2, 8}) {
+    ClosOutcome par = RunClosWorkload(99, workers, /*traced=*/false);
+    EXPECT_EQ(par.executed_events, seq.executed_events)
+        << "workers=" << workers;
+    EXPECT_EQ(par.ok_calls, seq.ok_calls) << "workers=" << workers;
+    EXPECT_EQ(par.metrics_json, seq.metrics_json) << "workers=" << workers;
+  }
+}
+
+TEST(DeterminismTest, TracedParallelRunsPinSerialAndStayIdentical) {
+  ClosOutcome seq = RunClosWorkload(7, 0, /*traced=*/true);
+  ClosOutcome par = RunClosWorkload(7, 8, /*traced=*/true);
+  EXPECT_FALSE(seq.trace_jsonl.empty());
+  EXPECT_EQ(par.trace_jsonl, seq.trace_jsonl);
+  EXPECT_EQ(par.metrics_json, seq.metrics_json);
+  EXPECT_EQ(par.executed_events, seq.executed_events);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

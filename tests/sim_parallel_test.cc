@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_context.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace dmrpc {
+namespace {
+
+// Exercises the parallel engine's raw LP machinery without any network
+// on top: a deterministic fan-out tree of events spread over three LPs,
+// run at several worker counts (and under the sequential pin), must
+// dispatch in exactly the same order everywhere. The tree mixes all
+// three scheduling shapes a windowed dispatch can produce:
+//   - a short same-LP hop (lands inside the current window: provisional
+//     key, replayed at the barrier),
+//   - a far same-LP hop (past the window end: staged like a remote
+//     send),
+//   - a cross-LP hop at exactly the lookahead bound (always legal:
+//     now >= window start, so now + lookahead >= window end).
+// Timestamps collide across branches by construction, so the intra-LP
+// order of same-time events is decided purely by the replayed global
+// sequence numbers -- the part of the engine this test pins down.
+
+struct Pattern {
+  sim::Simulation* sim = nullptr;
+  std::vector<uint32_t> lp;  // slot -> LP id (all 0 on a sequential sim)
+  // One log per slot: a slot's events always run on one LP, so appends
+  // are race-free in parallel windows; the (t, id) sequence per slot is
+  // a deterministic function of global dispatch order.
+  std::vector<std::vector<std::pair<TimeNs, int>>> log;
+};
+
+void PatternEvent(Pattern* p, uint32_t slot, int depth, int id) {
+  p->log[slot].emplace_back(p->sim->Now(), id);
+  if (depth == 0) return;
+  sim::Simulation* sim = p->sim;
+  sim->AtOnLp(p->lp[slot], sim->Now() + 30, [p, slot, depth, id] {
+    PatternEvent(p, slot, depth - 1, id * 3 + 1);
+  });
+  sim->AtOnLp(p->lp[slot], sim->Now() + 450, [p, slot, depth, id] {
+    PatternEvent(p, slot, depth - 1, id * 3 + 2);
+  });
+  uint32_t other = (slot + 1) % static_cast<uint32_t>(p->lp.size());
+  sim->AtOnLp(p->lp[other], sim->Now() + 200, [p, other, depth, id] {
+    PatternEvent(p, other, depth - 1, id * 3 + 3);
+  });
+}
+
+struct PatternResult {
+  std::vector<std::vector<std::pair<TimeNs, int>>> log;
+  uint64_t executed = 0;
+
+  bool operator==(const PatternResult& o) const {
+    return log == o.log && executed == o.executed;
+  }
+};
+
+// worker_threads == 0 runs the legacy sequential engine (single LP);
+// >= 1 runs the LP engine with three LPs and 200 ns lookahead. `pin`
+// forces the LP engine down the serial-merge path; `step` drives the
+// run through Step() instead of Run().
+PatternResult RunPattern(int worker_threads, bool pin = false,
+                         bool step = false) {
+  sim::SimConfig cfg;
+  cfg.worker_threads = worker_threads;
+  sim::Simulation sim(7, cfg);
+  Pattern p;
+  p.sim = &sim;
+  if (worker_threads >= 1) {
+    p.lp = {0, sim.AddLp(200), sim.AddLp(200)};
+  } else {
+    p.lp = {0, 0, 0};
+  }
+  p.log.resize(3);
+  if (pin) sim.PinSequential("test.pin");
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    int id = static_cast<int>(slot);
+    sim.AtOnLp(p.lp[slot], 10 + slot,
+               [&p, slot, id] { PatternEvent(&p, slot, 6, id); });
+  }
+  if (step) {
+    while (sim.Step()) {
+    }
+  } else {
+    sim.Run();
+  }
+  return {std::move(p.log), sim.executed_events()};
+}
+
+TEST(ParallelEngineTest, DispatchOrderMatchesSequentialAtAnyWorkerCount) {
+  PatternResult seq = RunPattern(0);
+  // Sanity: the tree actually fanned out (3 roots, fan-out 3, depth 6).
+  uint64_t total = 0;
+  for (const auto& slot : seq.log) total += slot.size();
+  EXPECT_EQ(total, seq.executed);
+  EXPECT_EQ(total, 3u * ((2187u - 1u) / 2u));  // 3 * (3^7-1)/2
+  for (int workers : {1, 2, 8}) {
+    EXPECT_TRUE(RunPattern(workers) == seq) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelEngineTest, SerialMergeAndStepMatchWindowedRuns) {
+  PatternResult windowed = RunPattern(8);
+  EXPECT_TRUE(RunPattern(8, /*pin=*/true) == windowed);
+  EXPECT_TRUE(RunPattern(2, /*pin=*/false, /*step=*/true) == windowed);
+}
+
+TEST(ParallelEngineTest, PinReasonIsSticky) {
+  sim::SimConfig cfg;
+  cfg.worker_threads = 4;
+  sim::Simulation sim(1, cfg);
+  EXPECT_EQ(sim.sequential_pin_reason(), nullptr);
+  sim.PinSequential("first");
+  sim.PinSequential("second");
+  EXPECT_STREQ(sim.sequential_pin_reason(), "first");
+}
+
+// Satellite 6 regression: ambient trace context must never leak from one
+// dispatch into another, even when two LPs run concurrently on worker
+// threads. Every event checks it starts clean, then deliberately
+// pollutes the thread's ambient slot; the engine must reset it before
+// the next dispatch on that thread.
+void ContextProbe(sim::Simulation* sim, uint32_t lp, uint64_t mark, int left,
+                  std::atomic<int>* dirty) {
+  if (obs::CurrentTraceContext().valid()) dirty->fetch_add(1);
+  obs::TraceContext ctx;
+  ctx.trace_id = mark;
+  ctx.span_id = mark;
+  obs::SetCurrentTraceContext(ctx);
+  if (left > 0) {
+    sim->AtOnLp(lp, sim->Now() + 7, [sim, lp, mark, left, dirty] {
+      ContextProbe(sim, lp, mark, left - 1, dirty);
+    });
+  }
+}
+
+TEST(ParallelEngineTest, TraceContextNeverCrossStitchesBetweenLps) {
+  sim::SimConfig cfg;
+  cfg.worker_threads = 8;
+  sim::Simulation sim(1, cfg);
+  std::vector<uint32_t> lps = {sim.AddLp(100), sim.AddLp(100), sim.AddLp(100)};
+  std::atomic<int> dirty{0};
+  for (size_t i = 0; i < lps.size(); ++i) {
+    uint32_t lp = lps[i];
+    uint64_t mark = 100 + i;
+    std::atomic<int>* d = &dirty;
+    sim.AtOnLp(lp, 0,
+               [&sim, lp, mark, d] { ContextProbe(&sim, lp, mark, 300, d); });
+  }
+  sim.Run();
+  EXPECT_EQ(dirty.load(), 0);
+  // The driver thread's ambient slot is clean after the run too.
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+}
+
+TEST(ParallelEngineTest, SpawnOnRunsCoroutinesOnTheirOwnLp) {
+  sim::SimConfig cfg;
+  cfg.worker_threads = 2;
+  sim::Simulation sim(1, cfg);
+  uint32_t lp1 = sim.AddLp(50);
+  std::vector<std::pair<uint32_t, TimeNs>> seen;
+  auto probe = [](sim::Simulation* s,
+                  std::vector<std::pair<uint32_t, TimeNs>>* seen,
+                  int ticks) -> sim::Task<> {
+    for (int i = 0; i < ticks; ++i) {
+      co_await sim::Delay(40);
+      seen->emplace_back(s->current_lp(), s->Now());
+    }
+  };
+  sim.SpawnOn(lp1, probe(&sim, &seen, 5));
+  sim.Run();
+  ASSERT_EQ(seen.size(), 5u);
+  for (const auto& [lp, t] : seen) EXPECT_EQ(lp, lp1);
+  EXPECT_EQ(seen.back().second, 200);
+}
+
+// Death tests run with a single worker thread: worker_threads == 1 keeps
+// every window on the driver thread (no pool is spawned), which keeps
+// gtest's death-test fork machinery safe.
+TEST(ParallelEngineDeathTest, CrossLpSendBelowLookaheadDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto run = [] {
+    sim::SimConfig cfg;
+    cfg.worker_threads = 1;
+    sim::Simulation sim(1, cfg);
+    uint32_t lp1 = sim.AddLp(500);
+    uint32_t lp2 = sim.AddLp(500);
+    sim.AtOnLp(lp1, 100, [&sim, lp2] {
+      // 10 ns < the 500 ns lookahead contract: must die, not corrupt.
+      sim.AtOnLp(lp2, sim.Now() + 10, [] {});
+    });
+    sim.Run();
+  };
+  EXPECT_DEATH(run(), "lookahead bound");
+}
+
+TEST(ParallelEngineDeathTest, RngDrawInsideParallelWindowDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto run = [] {
+    sim::SimConfig cfg;
+    cfg.worker_threads = 1;
+    sim::Simulation sim(1, cfg);
+    uint32_t lp1 = sim.AddLp(500);
+    sim.AtOnLp(lp1, 100, [&sim] { (void)sim.rng().Uniform(10); });
+    sim.Run();
+  };
+  EXPECT_DEATH(run(), "rng draw from a parallel window");
+}
+
+}  // namespace
+}  // namespace dmrpc
