@@ -156,6 +156,14 @@ void BenchObs::Arm(sim::Simulation* sim) {
     // covers the largest fig* run at CI scale with headroom.
     sim->tracer().set_limit(size_t{1} << 23);
   }
+  if (const char* us = std::getenv("DMRPC_TIMELINE_US")) {
+    long long v = std::atoll(us);
+    if (v > 0) {
+      obs::TimelineConfig cfg;
+      cfg.interval_ns = static_cast<TimeNs>(v) * kMicrosecond;
+      sim->EnableTimeline(cfg);
+    }
+  }
 }
 
 void BenchObs::Record(const std::string& label, sim::Simulation* sim) {
@@ -200,6 +208,31 @@ void BenchObs::Record(const std::string& label, sim::Simulation* sim) {
       LOG_WARN << "cannot write breakdown " << report_path;
     }
     sim->tracer().Clear();
+  }
+
+  if (sim->timeline().enabled() && !sim->timeline().windows().empty()) {
+    const char* tl_dir = std::getenv("DMRPC_TIMELINE_DIR");
+    std::string base = (tl_dir != nullptr ? std::string(tl_dir) + "/" : "") +
+                       BenchName() + "_" + SanitizeLabel(label);
+    std::string tl_path = base + ".timeline.jsonl";
+    std::ofstream tl(tl_path);
+    if (tl) {
+      tl << sim->timeline().ToJsonLines();
+      std::printf("[obs] wrote %s (%zu windows)\n", tl_path.c_str(),
+                  sim->timeline().windows().size());
+    } else {
+      LOG_WARN << "cannot write timeline " << tl_path;
+    }
+    std::string ct_path = base + ".counters.json";
+    std::ofstream ct(ct_path);
+    if (ct) {
+      sim->timeline().WriteCounterTrack(ct);
+    } else {
+      LOG_WARN << "cannot write counter track " << ct_path;
+    }
+    // Windows already serialized must not leak into the next labelled
+    // run's sidecar (the boundary grid itself stays armed).
+    sim->timeline().Clear();
   }
 }
 

@@ -73,6 +73,19 @@ std::string Summarize(const msvc::WorkloadResult& res);
 ///   <bench>_<label>.breakdown.txt  per-request critical-path latency
 ///                                  breakdown by layer and by hop
 ///                                  (obs::TraceAnalysis::TextReport)
+///
+/// Setting DMRPC_TIMELINE_US=<interval in virtual microseconds> arms the
+/// simulation's virtual-time timeline sampler (sim::Simulation::
+/// EnableTimeline) and writes two more sidecars per run, under
+/// DMRPC_TIMELINE_DIR if set, else the working directory:
+///
+///   <bench>_<label>.timeline.jsonl  one JSON object per sampled window
+///                                   (obs::TimelineRecorder::ToJsonLines;
+///                                   byte-identical across worker-thread
+///                                   counts)
+///   <bench>_<label>.counters.json   Chrome/Perfetto counter-track file
+///                                   (per-window rates, gauge levels,
+///                                   p99s, SLO burn rates)
 class BenchObs {
  public:
   /// Enables tracing on `sim` when DMRPC_TRACE_DIR is set.

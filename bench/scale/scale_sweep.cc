@@ -149,6 +149,13 @@ struct RatePoint {
   net::SwitchStats drops;
   uint32_t max_port_depth = 0;
   uint64_t fingerprint = 0;
+  /// FNV-1a of the timeline JSONL sidecar (0 when sampling is off). Part
+  /// of the thread-scaling bit-identity check: the whole per-window time
+  /// series must match across worker-thread counts, not just the final
+  /// registry state.
+  uint64_t timeline_fingerprint = 0;
+  uint64_t timeline_windows = 0;
+  uint64_t slo_breaches = 0;
   double wall_ms = 0;
 };
 
@@ -159,6 +166,17 @@ RatePoint RunOne(const Options& opt, double rate_krps, const char* label_suffix,
   scfg.worker_threads = threads;
   sim::Simulation sim(opt.seed, scfg);
   BenchObs::Arm(&sim);
+  if (sim.timeline().enabled()) {
+    // Burn-rate SLOs evaluated per sampled window. The p99 latency
+    // objective (budget 0.01: 99% of calls under 1 ms) trips as the sweep
+    // crosses the knee; the drop-rate objective (budget 0.001 of
+    // forwarded packets) trips once egress queues overflow.
+    sim.slo().AddObjective(obs::SloObjective::Latency(
+        "rpc_call_1ms", "rpc.call", 1 * kMillisecond, /*budget=*/0.01));
+    sim.slo().AddObjective(obs::SloObjective::Ratio(
+        "net_drop_rate", "net.switch.dropped", "net.switch.forwarded",
+        /*budget=*/0.001));
+  }
 
   msvc::ClusterConfig cfg;
   cfg.backend = opt.backend;
@@ -214,6 +232,12 @@ RatePoint RunOne(const Options& opt, double rate_krps, const char* label_suffix,
   pt.drops = cluster.fabric()->switch_stats();
   pt.max_port_depth = cluster.fabric()->max_port_depth();
   pt.fingerprint = Fnv1a(sim.DumpMetricsJson());
+  if (sim.timeline().enabled()) {
+    // Captured before Record(): writing the sidecars clears the windows.
+    pt.timeline_fingerprint = Fnv1a(sim.timeline().ToJsonLines());
+    pt.timeline_windows = sim.timeline().windows().size();
+    pt.slo_breaches = sim.slo().breaches().size();
+  }
   pt.wall_ms = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - wall_start)
                    .count();
@@ -280,13 +304,22 @@ void WriteJson(const Options& opt, const std::vector<RatePoint>& points,
         "\"drops\": {\"queue_full\": %" PRIu64 ", \"switch_down\": %" PRIu64
         ", \"loss\": %" PRIu64 ", \"fault\": %" PRIu64
         ", \"unknown_dst\": %" PRIu64 "}, \"metrics_fingerprint\": \"%016" PRIx64
-        "\"}%s\n",
+        "\"",
         p.offered_krps, p.goodput_krps, p.mean_us, p.p50_us, p.p99_us,
         p.p999_us, p.offered, p.completed, p.failed, p.max_port_depth,
         p.drops.dropped_queue_full, p.drops.dropped_switch_down,
         p.drops.dropped_loss, p.drops.dropped_fault,
-        p.drops.dropped_unknown_dst, p.fingerprint,
-        i + 1 < points.size() ? "," : "");
+        p.drops.dropped_unknown_dst, p.fingerprint);
+    if (p.timeline_windows > 0) {
+      // Present only when DMRPC_TIMELINE_US armed the sampler, so the
+      // baked no-timeline BENCH_scale.json keeps its schema.
+      std::fprintf(f,
+                   ", \"timeline_windows\": %" PRIu64
+                   ", \"slo_breaches\": %" PRIu64
+                   ", \"timeline_fingerprint\": \"%016" PRIx64 "\"",
+                   p.timeline_windows, p.slo_breaches, p.timeline_fingerprint);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   if (knee > 0) {
@@ -442,6 +475,7 @@ int Main(int argc, char** argv) {
     if (opt.verify) {
       RatePoint again = RunOne(opt, rate, "_rerun", opt.threads);
       if (again.fingerprint != pt.fingerprint ||
+          again.timeline_fingerprint != pt.timeline_fingerprint ||
           again.completed != pt.completed || again.p99_us != pt.p99_us) {
         std::fprintf(stderr,
                      "DETERMINISM FAILURE at %g krps: fingerprints "
@@ -455,6 +489,12 @@ int Main(int argc, char** argv) {
                 pt.offered_krps, pt.goodput_krps, pt.p50_us, pt.p99_us,
                 pt.p999_us, pt.max_port_depth,
                 pt.drops.dropped_queue_full + pt.drops.dropped_loss);
+    if (pt.timeline_windows > 0) {
+      std::printf("          timeline: %" PRIu64 " windows, %" PRIu64
+                  " SLO breach%s\n",
+                  pt.timeline_windows, pt.slo_breaches,
+                  pt.slo_breaches == 1 ? "" : "es");
+    }
     points.push_back(pt);
   }
 
@@ -503,8 +543,9 @@ int Main(int argc, char** argv) {
       char suffix[16];
       std::snprintf(suffix, sizeof(suffix), "_t%d", th);
       RatePoint p = RunOne(opt, thread_rate, suffix, th);
-      bool same =
-          p.fingerprint == ref->fingerprint && p.completed == ref->completed;
+      bool same = p.fingerprint == ref->fingerprint &&
+                  p.timeline_fingerprint == ref->timeline_fingerprint &&
+                  p.completed == ref->completed;
       if (!same) thread_identical = false;
       tpoints.push_back({th, p.wall_ms, p.fingerprint, p.completed});
       std::printf("  threads %d      : wall %8.1f ms  (%.2fx vs seq)  %s\n",

@@ -1,6 +1,6 @@
 // Command-line front end of obs::TraceAnalysis.
 //
-// Usage: trace_analyze [--check] <trace.jsonl>...
+// Usage: trace_analyze [--check] [--csv] <trace.jsonl>...
 //
 // Reads one or more JSONL trace dumps (the .trace.jsonl sidecars written
 // by bench binaries under DMRPC_TRACE_DIR, or Tracer::WriteJsonLines
@@ -13,6 +13,13 @@
 // intervals nested inside their parents, and every per-request breakdown
 // summing exactly to that request's end-to-end latency. CI runs this
 // over the fig05 traces on every push.
+//
+// With --csv the human-readable report is replaced by one CSV table on
+// stdout -- the BreakdownAggregate rows (group x layer, with the group's
+// request count, latency quantiles, and the layer's critical-path time),
+// ready for a spreadsheet or pandas:
+//
+//   file,group,layer,requests,p50_ns,p95_ns,p99_ns,max_ns,layer_ns
 
 #include <cstdio>
 #include <cstring>
@@ -24,7 +31,25 @@
 
 namespace {
 
-int AnalyzeFile(const std::string& path, bool check) {
+/// One CSV row per (group, layer): the group's aggregate quantiles repeat
+/// on every row of the group, so each row is self-contained.
+void PrintCsv(const std::string& path,
+              const dmrpc::obs::TraceAnalysis& analysis) {
+  auto aggregates = dmrpc::obs::TraceAnalysis::Aggregate(analysis.Breakdowns());
+  for (const auto& [group, agg] : aggregates) {
+    if (agg.requests == 0) continue;
+    for (const auto& [layer, ns] : agg.by_layer) {
+      std::printf("%s,%s,%s,%zu,%lld,%lld,%lld,%lld,%lld\n", path.c_str(),
+                  group.c_str(), layer.c_str(), agg.requests,
+                  static_cast<long long>(agg.p50),
+                  static_cast<long long>(agg.p95),
+                  static_cast<long long>(agg.p99),
+                  static_cast<long long>(agg.max), static_cast<long long>(ns));
+    }
+  }
+}
+
+int AnalyzeFile(const std::string& path, bool check, bool csv) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "trace_analyze: cannot open %s\n", path.c_str());
@@ -38,8 +63,12 @@ int AnalyzeFile(const std::string& path, bool check) {
     return 2;
   }
   analysis.Build();
-  std::printf("==== %s ====\n%s", path.c_str(),
-              analysis.TextReport().c_str());
+  if (csv) {
+    PrintCsv(path, analysis);
+  } else {
+    std::printf("==== %s ====\n%s", path.c_str(),
+                analysis.TextReport().c_str());
+  }
 
   int rc = 0;
   if (check) {
@@ -77,27 +106,35 @@ int AnalyzeFile(const std::string& path, bool check) {
 
 int main(int argc, char** argv) {
   bool check = false;
+  bool csv = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: trace_analyze [--check] <trace.jsonl>...\n");
+      std::printf("usage: trace_analyze [--check] [--csv] <trace.jsonl>...\n");
       return 0;
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: trace_analyze [--check] <trace.jsonl>...\n");
+    std::fprintf(stderr,
+                 "usage: trace_analyze [--check] [--csv] <trace.jsonl>...\n");
     return 2;
   }
   int rc = 0;
+  if (csv) {
+    std::printf("file,group,layer,requests,p50_ns,p95_ns,p99_ns,max_ns,"
+                "layer_ns\n");
+  }
   for (const std::string& f : files) {
-    int file_rc = AnalyzeFile(f, check);
+    int file_rc = AnalyzeFile(f, check, csv);
     if (file_rc > rc) rc = file_rc;
   }
-  if (check && rc == 0) {
+  if (check && rc == 0 && !csv) {
     std::printf("trace_analyze: all %zu file(s) well-formed\n", files.size());
   }
   return rc;

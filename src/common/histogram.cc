@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace dmrpc {
 
 Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
@@ -34,6 +36,13 @@ int64_t Histogram::BucketUpperBound(int index) {
   return static_cast<int64_t>(ub - 1);
 }
 
+int64_t Histogram::BucketLowerBound(int index) {
+  int octave = index >> kSubBucketBits;
+  int sub = index & (kSubBuckets - 1);
+  if (octave == 0) return sub;  // first octave is exact
+  return static_cast<int64_t>(static_cast<uint64_t>(sub) << octave);
+}
+
 void Histogram::Record(int64_t value) {
   if (value < 0) value = 0;
   if (count_ == 0) {
@@ -60,6 +69,46 @@ void Histogram::Merge(const Histogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+Histogram Histogram::Diff(const Histogram& baseline) const {
+  Histogram out;
+  DMRPC_CHECK_GE(count_, baseline.count_)
+      << "Diff baseline is not a snapshot of this histogram";
+  if (count_ == baseline.count_) return out;  // empty window
+  int first = -1;
+  int last = -1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    DMRPC_CHECK_GE(buckets_[i], baseline.buckets_[i])
+        << "Diff baseline bucket " << i << " exceeds this histogram";
+    uint64_t d = buckets_[i] - baseline.buckets_[i];
+    out.buckets_[i] = d;
+    if (d > 0) {
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+    }
+  }
+  out.count_ = count_ - baseline.count_;
+  out.sum_ = sum_ - baseline.sum_;
+  // The exact extremes of the window's samples are gone (only the
+  // cumulative min/max were tracked), so reconstruct them from the
+  // outermost nonzero difference buckets, clamped into the cumulative
+  // range -- at most one sub-bucket of error, same as the quantiles.
+  out.min_ = std::clamp(BucketLowerBound(first), min_, max_);
+  out.max_ = std::clamp(BucketUpperBound(last), min_, max_);
+  return out;
+}
+
+uint64_t Histogram::CountAtOrBelow(int64_t value) const {
+  if (count_ == 0) return 0;
+  if (value < 0) return 0;
+  if (value >= max_) return count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (BucketUpperBound(static_cast<int>(i)) > value) break;
+    seen += buckets_[i];
+  }
+  return seen;
 }
 
 void Histogram::Reset() {

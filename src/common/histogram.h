@@ -20,6 +20,17 @@ class Histogram {
   /// Merges another histogram into this one.
   void Merge(const Histogram& other);
 
+  /// Elementwise difference `this - baseline`: the histogram of exactly
+  /// the samples recorded since `baseline` was a snapshot of this
+  /// histogram. Requires baseline to be such a snapshot (every bucket of
+  /// `this` holds at least baseline's count; checked fatally), which is
+  /// how the timeline sampler uses it -- per-window quantile sketches
+  /// diffed out of the cumulative timers. count and sum are exact; min
+  /// and max are reconstructed from the first/last nonzero difference
+  /// bucket (clamped into [min(), max()]), so window quantiles carry the
+  /// same ~3% bucket error as cumulative ones.
+  Histogram Diff(const Histogram& baseline) const;
+
   void Reset();
 
   uint64_t count() const { return count_; }
@@ -41,6 +52,14 @@ class Histogram {
   /// DESIGN.md). q <= 0 returns exactly min(), q >= 1 exactly max().
   int64_t ValueAtQuantile(double q) const;
 
+  /// Number of recorded samples whose bucket lies entirely at or below
+  /// `value`. Samples sharing `value`'s own bucket are excluded (their
+  /// exact values are unknown), so the result never over-counts: it can
+  /// under-count by at most the one-bucket population at the threshold
+  /// (values < 64 are exact). The SLO monitor uses this to count
+  /// within-target samples per window.
+  uint64_t CountAtOrBelow(int64_t value) const;
+
   int64_t p50() const { return ValueAtQuantile(0.50); }
   int64_t p90() const { return ValueAtQuantile(0.90); }
   int64_t p99() const { return ValueAtQuantile(0.99); }
@@ -57,6 +76,7 @@ class Histogram {
 
   static int BucketIndex(int64_t value);
   static int64_t BucketUpperBound(int index);
+  static int64_t BucketLowerBound(int index);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

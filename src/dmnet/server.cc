@@ -30,6 +30,9 @@ DmServer::DmServer(net::Fabric* fabric, net::NodeId node, net::Port port,
   m_faults_ = sim_->metrics().GetCounter("dm.page_faults");
   m_cow_copies_ = sim_->metrics().GetCounter("dm.cow_copies");
   m_eager_copies_ = sim_->metrics().GetCounter("dm.eager_copied_pages");
+  m_fetch_refs_ = sim_->metrics().GetCounter("dm.fetch_refs");
+  m_release_refs_ = sim_->metrics().GetCounter("dm.release_refs");
+  m_peer_reclaims_ = sim_->metrics().GetCounter("dm.peer_reclaims");
   pool_.AttachMetrics(&sim_->metrics(), "dm.pool");
   rpc_->RegisterHandler(kRegister, [this](ReqContext c, MsgBuffer m) {
     return HandleRegister(c, std::move(m));
@@ -147,6 +150,7 @@ void DmServer::ReclaimPeer(net::NodeId peer) {
   // 3. New incarnation: stragglers from the dead one resolve cleanly.
   peer_epochs_[peer]++;
   stats_.peer_reclaims++;
+  m_peer_reclaims_->Inc();
   stats_.frames_reclaimed += frames_freed;
   if (sim_->tracer().enabled()) {
     sim_->tracer().Instant(
@@ -386,6 +390,7 @@ sim::Task<MsgBuffer> DmServer::HandleReleaseRef(ReqContext ctx,
   refs_.erase(it);
   co_await sim::Delay(cpu);
   stats_.release_refs++;
+  m_release_refs_->Inc();
   PutStatus(&resp, Status::OK());
   co_return resp;
 }
@@ -693,6 +698,7 @@ sim::Task<MsgBuffer> DmServer::HandleFetchRef(ReqContext ctx,
   co_await sim::Delay(
       cfg_.memory.AccessNs(mem::MemKind::kLocalDram, entry.size));
   stats_.fetch_refs++;
+  m_fetch_refs_->Inc();
   co_return resp;
 }
 

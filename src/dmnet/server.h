@@ -211,6 +211,9 @@ class DmServer {
   obs::Counter* m_faults_;
   obs::Counter* m_cow_copies_;
   obs::Counter* m_eager_copies_;
+  obs::Counter* m_fetch_refs_;
+  obs::Counter* m_release_refs_;
+  obs::Counter* m_peer_reclaims_;
 };
 
 }  // namespace dmrpc::dmnet

@@ -32,6 +32,7 @@ sim::Task<Status> Txn::LockRecord(uint64_t key, LockMode mode) {
     locks_[key] = mode;  // fresh grant or S->X upgrade
   } else if (st.code() == StatusCode::kAborted) {
     mgr_->stats_.lock_aborts++;
+    mgr_->m_lock_aborts_->Inc();
   }
   co_return st;
 }
@@ -148,6 +149,7 @@ sim::Task<Status> Txn::Commit() {
         co_await ReleaseLocks();
         done_ = true;
         mgr_->stats_.aborted++;
+        mgr_->m_aborted_->Inc();
         co_return r.status();
       }
     } else {
@@ -156,6 +158,7 @@ sim::Task<Status> Txn::Commit() {
         co_await ReleaseLocks();
         done_ = true;
         mgr_->stats_.aborted++;
+        mgr_->m_aborted_->Inc();
         co_return r.status();
       }
     }
@@ -171,6 +174,7 @@ sim::Task<Status> Txn::Commit() {
   Status st = co_await ReleaseLocks();
   done_ = true;
   mgr_->stats_.committed++;
+  mgr_->m_committed_->Inc();
   co_return st;
 }
 
@@ -178,6 +182,7 @@ sim::Task<Status> Txn::Abort() {
   if (done_) co_return Status::OK();
   done_ = true;
   mgr_->stats_.aborted++;
+  mgr_->m_aborted_->Inc();
   writes_.clear();
   co_return co_await ReleaseLocks();
 }
@@ -193,8 +198,20 @@ uint64_t TxnMgr::NextTxnId() {
          (seq_++ & 0xFFF);
 }
 
+void TxnMgr::EnsureMetrics() {
+  if (m_begun_ != nullptr) return;
+  obs::MetricsRegistry& m = sim::Simulation::Current()->metrics();
+  m_begun_ = m.GetCounter("kv.txn.begun");
+  m_committed_ = m.GetCounter("kv.txn.committed");
+  m_aborted_ = m.GetCounter("kv.txn.aborted");
+  m_lock_aborts_ = m.GetCounter("kv.txn.lock_aborts");
+  m_retries_ = m.GetCounter("kv.txn.retries");
+}
+
 Txn TxnMgr::Begin() {
+  EnsureMetrics();
   stats_.begun++;
+  m_begun_->Inc();
   uint64_t id = NextTxnId();
   return Txn(this, id, id);
 }
@@ -216,6 +233,7 @@ sim::Task<Status> TxnMgr::RunTxn(
     co_await txn.Abort();
     if (st.code() != StatusCode::kAborted) co_return st;
     stats_.retries++;
+    m_retries_->Inc();
     // Deterministic exponential backoff (capped) with a seeded-rng
     // jitter so retrying transactions don't re-collide in lockstep;
     // past the contention knee this is what keeps goodput on a plateau

@@ -11,6 +11,7 @@
 #include "dsm/lock_server.h"
 #include "kv/btree.h"
 #include "kv/history.h"
+#include "obs/metrics.h"
 #include "sim/task.h"
 
 namespace dmrpc::kv {
@@ -136,6 +137,11 @@ class TxnMgr {
  private:
   friend class Txn;
   uint64_t NextTxnId();
+  /// Resolves the fleet-wide kv.txn.* registry counters from the owning
+  /// simulation on the first Begin (the manager is constructed without a
+  /// sim handle; Begin already requires an ambient simulation for txn
+  /// ids). Per-client detail stays in stats_.
+  void EnsureMetrics();
 
   BTree* tree_;
   dsm::DsmLockClient* locks_;
@@ -144,6 +150,11 @@ class TxnMgr {
   uint32_t client_id_;
   uint32_t seq_ = 0;
   TxnStats stats_;
+  obs::Counter* m_begun_ = nullptr;
+  obs::Counter* m_committed_ = nullptr;
+  obs::Counter* m_aborted_ = nullptr;
+  obs::Counter* m_lock_aborts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
 };
 
 }  // namespace dmrpc::kv

@@ -70,12 +70,8 @@ void Fabric::TraceSlow(TraceStage stage, const Packet& pkt) {
 }
 
 obs::Counter* Fabric::DropReasonCounter(DropReason reason) {
-  int i = static_cast<int>(reason);
-  if (m_drop_reason_[i] == nullptr) {
-    m_drop_reason_[i] = sim_->metrics().GetCounter(
-        std::string("net.drop_reason.") + DropReasonName(reason));
-  }
-  return m_drop_reason_[i];
+  // All six are registered eagerly by the constructor.
+  return m_drop_reason_[static_cast<int>(reason)];
 }
 
 void Fabric::CountDrop(DropReason reason, const Packet& pkt) {
@@ -110,12 +106,10 @@ void Fabric::FoldShards() {
     if (sh.dropped > 0) m_dropped_->Inc(sh.dropped);
     if (sh.spine_hops > 0) m_spine_hops_->Inc(sh.spine_hops);
     if (sh.leaf_local > 0) m_leaf_local_->Inc(sh.leaf_local);
+    if (sh.enqueued > 0) m_port_enqueued_->Inc(sh.enqueued);
     for (int i = 0; i < kNumDropReasons; ++i) {
-      // Lazy registration survives sharding: a reason's counter appears
-      // in the dump only if that reason actually fired, exactly as when
-      // drops incremented it directly.
       if (sh.drop_reason[i] > 0) {
-        DropReasonCounter(static_cast<DropReason>(i))->Inc(sh.drop_reason[i]);
+        m_drop_reason_[i]->Inc(sh.drop_reason[i]);
       }
     }
     if (sh.max_port_depth > max_port_depth_) {
@@ -136,6 +130,13 @@ Fabric::Fabric(sim::Simulation* sim, const NetworkConfig& cfg,
   DMRPC_CHECK_GT(topo_.num_hosts, 0u);
   m_forwarded_ = sim_->metrics().GetCounter("net.switch.forwarded");
   m_dropped_ = sim_->metrics().GetCounter("net.switch.dropped");
+  // Eager, in enum order (GetCounter sorts by name anyway): the full
+  // drop-reason schema is present in every dump, zeros included.
+  for (int i = 0; i < kNumDropReasons; ++i) {
+    m_drop_reason_[i] = sim_->metrics().GetCounter(
+        std::string("net.drop_reason.") +
+        DropReasonName(static_cast<DropReason>(i)));
+  }
   nics_.reserve(topo_.num_hosts);
   if (topo_.kind == TopologyKind::kSingleTor) {
     // The seed rack: this construction sequence (and the event/rng
@@ -180,6 +181,7 @@ void Fabric::BuildClos() {
       << "more leaves than hosts";
   m_spine_hops_ = sim_->metrics().GetCounter("net.fabric.spine_hops");
   m_leaf_local_ = sim_->metrics().GetCounter("net.fabric.leaf_local");
+  m_port_enqueued_ = sim_->metrics().GetCounter("net.fabric.port_enqueued");
   m_max_port_depth_ = sim_->metrics().GetGauge("net.fabric.max_port_depth");
   // Partition the switch graph onto logical processes when the engine
   // supports them. The host->leaf cable is the shortest cross-LP edge, so
@@ -573,6 +575,7 @@ void Fabric::ClosEnqueue(SwitchId sw, uint32_t port, Packet pkt) {
   }
   pq.depth++;
   pq.enqueued++;
+  ShardFor(sw).enqueued++;
   if (pq.depth > pq.max_depth) {
     pq.max_depth = pq.depth;
     FabricShard& sh = ShardFor(sw);

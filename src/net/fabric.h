@@ -249,6 +249,7 @@ class Fabric {
     uint64_t dropped = 0;     // aggregate `net.switch.dropped` delta
     uint64_t spine_hops = 0;  // `net.fabric.spine_hops` delta
     uint64_t leaf_local = 0;  // `net.fabric.leaf_local` delta
+    uint64_t enqueued = 0;    // `net.fabric.port_enqueued` delta
     uint32_t max_port_depth = 0;  // high-water since the last fold
   };
 
@@ -324,12 +325,16 @@ class Fabric {
   uint64_t next_packet_id_ = 1;
   obs::Counter* m_forwarded_;
   obs::Counter* m_dropped_;
-  /// Lazily-registered distinct drop-reason counters (see DropReason).
+  /// Distinct drop-reason counters, registered eagerly at construction so
+  /// every run's metrics dump and timeline sidecar carry the full
+  /// drop-reason schema (zeros when a reason never fired) -- sidecars
+  /// from different configs then line up column-for-column.
   obs::Counter* m_drop_reason_[kNumDropReasons] = {};
   // Clos-only aggregates, registered eagerly by BuildClos (Clos runs have
   // no baked-in metric fingerprints to preserve).
   obs::Counter* m_spine_hops_ = nullptr;
   obs::Counter* m_leaf_local_ = nullptr;
+  obs::Counter* m_port_enqueued_ = nullptr;
   obs::Gauge* m_max_port_depth_ = nullptr;
 };
 

@@ -102,8 +102,11 @@ std::string MetricsRegistry::DumpJson() const {
     if (!first) out += ",";
     first = false;
     AppendJsonString(&out, name);
-    out += ":";
-    out += std::to_string(g.value());
+    // Level plus high-watermark: depths and in-flight counts drain to 0
+    // by run end, so the peak is the number that actually means anything.
+    out += ":{\"value\":" + std::to_string(g.value());
+    out += ",\"max\":" + std::to_string(g.max());
+    out += "}";
   }
   out += "},\"timers\":{";
   first = true;

@@ -24,16 +24,34 @@ class Counter {
   uint64_t value_ = 0;
 };
 
-/// A point-in-time level (free frames, live sessions, queue depth).
+/// A point-in-time level (free frames, live sessions, queue depth), plus
+/// its high-watermark: the largest value the gauge ever held, tracked on
+/// every Set/Add. Levels usually drain back to zero by the end of a run
+/// (queue depths, in-flight counts), so the final value alone says
+/// nothing about the peak; max() is what the registry dump and the
+/// timeline sampler report alongside it.
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t delta) { value_ += delta; }
+  void Set(int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void Add(int64_t delta) {
+    value_ += delta;
+    if (value_ > max_) max_ = value_;
+  }
   int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  /// Largest value ever held (0 for a gauge that never went positive:
+  /// the watermark starts at the initial value).
+  int64_t max() const { return max_; }
+  void Reset() {
+    value_ = 0;
+    max_ = 0;
+  }
 
  private:
   int64_t value_ = 0;
+  int64_t max_ = 0;
 };
 
 /// A Histogram-backed duration metric for virtual-time intervals (slot
@@ -89,8 +107,24 @@ class MetricsRegistry {
   /// pointers) intact. Used between benchmark phases.
   void ResetValues();
 
+  /// Read-only iteration in sorted name order (the dump order); used by
+  /// the timeline sampler to snapshot the whole registry at a boundary.
+  /// `fn` is called as fn(const std::string& name, const Metric&).
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, c);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, g);
+  }
+  template <typename Fn>
+  void ForEachTimer(Fn&& fn) const {
+    for (const auto& [name, t] : timers_) fn(name, t);
+  }
+
   /// Dumps every metric as a JSON object:
-  ///   {"counters":{...},"gauges":{...},
+  ///   {"counters":{...},"gauges":{"name":{"value":..,"max":..}},
   ///    "timers":{"name":{"count":..,"sum":..,"min":..,"p50":..,...}}}
   /// Keys are sorted and all values are integers, so the output is
   /// byte-stable across identically-seeded runs and across platforms.

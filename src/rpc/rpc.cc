@@ -36,6 +36,7 @@ Rpc::Rpc(net::Fabric* fabric, net::NodeId node, net::Port port, RpcConfig cfg)
   m_credit_stalls_ = m.GetCounter("rpc.credit_stalls");
   m_tx_packets_ = m.GetCounter("rpc.tx_packets");
   m_rx_packets_ = m.GetCounter("rpc.rx_packets");
+  m_in_flight_ = m.GetGauge("rpc.in_flight");
   m_call_ns_ = m.GetTimer("rpc.call");
   m_slot_wait_ns_ = m.GetTimer("rpc.slot_wait");
   m_credit_stall_ns_ = m.GetTimer("rpc.credit_stall");
@@ -315,9 +316,14 @@ sim::Task<StatusOr<MsgBuffer>> Rpc::Call(SessionId session, ReqType req_type,
   KickScanner();
   stats_.requests_sent++;
   m_requests_sent_->Inc();
+  // Level of outstanding calls; the gauge's high-watermark is the peak
+  // concurrency the client side ever reached (the level itself drains to
+  // zero by run end on any workload that completes).
+  m_in_flight_->Add(1);
   co_await SendRequestPackets(session, slot_idx, /*is_retransmit=*/false);
 
   Status st = co_await slot.done->Wait();
+  m_in_flight_->Add(-1);
   // The response *is* the received fragment slices, linked in order --
   // the handler-visible cursor reads across the slice boundaries.
   MsgBuffer response = slot.resp.TakeMessage();

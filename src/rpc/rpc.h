@@ -334,6 +334,8 @@ class Rpc {
   /// determinism artifact with baked-in fingerprints in bench/simcore)
   /// stays byte-identical for fault-free runs.
   obs::Counter* m_session_resets_ = nullptr;
+  /// Outstanding client Calls (level + high-watermark).
+  obs::Gauge* m_in_flight_;
   obs::Timer* m_call_ns_;
   obs::Timer* m_slot_wait_ns_;
   obs::Timer* m_credit_stall_ns_;

@@ -161,6 +161,16 @@ void Simulation::RunFoldHooks() {
   }
 }
 
+void Simulation::FlushTimeline(TimeNs up_to) {
+  if (up_to < tl_next_) return;
+  // Fold sharded counters so boundary B reads "registry after every event
+  // with t < B" -- the engine guarantees no event with t >= B has run yet.
+  RunFoldHooks();
+  timeline_.SampleUpTo(up_to, &metrics_, executed_, live_tasks_, &slo_,
+                       &tracer_);
+  tl_next_ = timeline_.next_boundary();
+}
+
 void Simulation::ScheduleHandle(TimeNs t, std::coroutine_handle<> h) {
   internal::WorkerCtx* w = internal::g_worker_ctx;
   if (w != nullptr && w->sim == this) {
@@ -325,6 +335,9 @@ bool Simulation::Step() {
   if (lps_.size() == 1) {
     if (lp0_->queue.empty()) return false;
     CurrentGuard guard(this);
+    if (lp0_->queue.top_time() >= tl_next_) {
+      FlushTimeline(lp0_->queue.top_time());
+    }
     Dispatch(lp0_->queue.PopMin());
     RunFoldHooks();
     return true;
@@ -347,6 +360,9 @@ bool Simulation::Step() {
   }
   if (best == nullptr) return false;
   CurrentGuard guard(this);
+  if (static_cast<TimeNs>(best_key >> 64) >= tl_next_) {
+    FlushTimeline(static_cast<TimeNs>(best_key >> 64));
+  }
   DispatchOn(best, best_idx, best->queue.PopMin());
   RunFoldHooks();
   return true;
@@ -359,6 +375,9 @@ void Simulation::Run() {
     CurrentGuard guard(this);
     EventQueue& q = lp0_->queue;
     while (!q.empty()) {
+      // Sample every boundary the next event is about to step over (one
+      // compare against a cached TimeNs when the timeline is off).
+      if (q.top_time() >= tl_next_) FlushTimeline(q.top_time());
       Dispatch(q.PopMin());
     }
     RunFoldHooks();
@@ -372,9 +391,13 @@ void Simulation::RunUntil(TimeNs deadline) {
     CurrentGuard guard(this);
     EventQueue& q = lp0_->queue;
     while (!q.empty() && q.top_time() <= deadline) {
+      if (q.top_time() >= tl_next_) FlushTimeline(q.top_time());
       Dispatch(q.PopMin());
     }
     if (now_ < deadline) now_ = deadline;
+    // Boundaries between the last event and the deadline sample as empty
+    // windows: a deadline-bounded run covers its full grid.
+    FlushTimeline(deadline);
     RunFoldHooks();
     return;
   }
@@ -392,6 +415,7 @@ void Simulation::RunMulti(TimeNs deadline, bool has_deadline) {
     RunSerialMerge(deadline);
   }
   if (has_deadline && now_ < deadline) now_ = deadline;
+  if (has_deadline) FlushTimeline(deadline);
   RunFoldHooks();
 }
 
@@ -426,7 +450,9 @@ void Simulation::RunSerialMerge(TimeNs deadline) {
       }
     }
     if (best == nullptr) return;
-    if (static_cast<TimeNs>(best_key >> 64) > deadline) return;
+    TimeNs t = static_cast<TimeNs>(best_key >> 64);
+    if (t > deadline) return;
+    if (t >= tl_next_) FlushTimeline(t);
     DispatchOn(best, best_idx, best->queue.PopMin());
   }
 }
@@ -437,6 +463,10 @@ void Simulation::RunWindowed(TimeNs deadline) {
   for (;;) {
     TimeNs top = NextEventTimeMulti();
     if (top < 0 || top > deadline) return;
+    // Between windows every event with t < top has committed, so pending
+    // boundaries <= top sample here, on the driving thread, from fully
+    // folded state -- the same instant the serial paths sample them.
+    if (top >= tl_next_) FlushTimeline(top);
     // Conservative synchronization: no LP can receive a cross-LP event
     // earlier than (earliest pending time + lookahead), so everything in
     // [top, window_end) is causally closed and can run concurrently.
@@ -444,6 +474,11 @@ void Simulation::RunWindowed(TimeNs deadline) {
     if (deadline < kMax && window_end > deadline + 1) {
       window_end = deadline + 1;  // events at the deadline still run
     }
+    // Never execute across a sample boundary: clamping the window to the
+    // next boundary keeps every boundary on a barrier, where the shard
+    // folds and the commit order match the sequential engine exactly.
+    // FlushTimeline left tl_next_ > top, so the window stays non-empty.
+    if (window_end > tl_next_) window_end = tl_next_;
     ExecuteWindow(window_end);
     CommitWindow();
   }

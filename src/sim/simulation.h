@@ -17,6 +17,8 @@
 #include "common/random.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "sim/buffer_pool.h"
@@ -306,6 +308,28 @@ class Simulation {
   /// bench/bench_util writes as each benchmark's metrics sidecar.
   std::string DumpMetricsJson();
 
+  /// Arms virtual-time telemetry: the timeline recorder samples the whole
+  /// metrics registry at every boundary `Now() + k * cfg.interval_ns`.
+  /// Boundary B means "registry state after all events with t < B" on
+  /// every engine path (sequential, serial merge, parallel windows), so
+  /// the resulting time series is bit-identical across worker-thread
+  /// counts. Sampling is read-only against the run (see
+  /// obs::TimelineRecorder); cfg.interval_ns == 0 disarms.
+  void EnableTimeline(const obs::TimelineConfig& cfg) {
+    timeline_.Configure(cfg, now_);
+    tl_next_ = timeline_.next_boundary();
+  }
+
+  /// The run's timeline recorder (inert until EnableTimeline).
+  obs::TimelineRecorder& timeline() { return timeline_; }
+  const obs::TimelineRecorder& timeline() const { return timeline_; }
+
+  /// The run's SLO monitor. Objectives added here are evaluated against
+  /// every sampled timeline window (no-op until EnableTimeline arms the
+  /// sampler).
+  obs::SloMonitor& slo() { return slo_; }
+  const obs::SloMonitor& slo() const { return slo_; }
+
   // -------------------------------------------------------------------
   // Logical-process (parallel engine) API. Used by the network fabric to
   // partition switches onto LPs, and by engine tests; application code
@@ -428,6 +452,12 @@ class Simulation {
   void WorkerMain(int worker_index);
   void RunFoldHooks();
 
+  /// Samples every pending timeline boundary <= `up_to`. Folds sharded
+  /// counters first so the registry reflects all executed events. The
+  /// engine calls this before dispatching the first event at or past a
+  /// boundary, and once more when a run advances the clock to a deadline.
+  void FlushTimeline(TimeNs up_to);
+
   /// Declared before lps_ and after nothing that can hold buffers:
   /// members destroy in reverse order, so the (already drained) queues and
   /// everything else that might hold PooledBufs die before the pool.
@@ -460,6 +490,12 @@ class Simulation {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::TimelineRecorder timeline_;
+  obs::SloMonitor slo_;
+  /// Cached timeline_.next_boundary(): the run loops compare each event's
+  /// timestamp against this single TimeNs (max() when sampling is off) so
+  /// the disabled-case overhead is one branch per dispatch.
+  TimeNs tl_next_ = std::numeric_limits<TimeNs>::max();
 };
 
 /// Awaitable that resumes the current coroutine after `delay` virtual ns.

@@ -65,11 +65,27 @@ TEST(MetricsRegistryTest, DumpJsonSortedAndIntegerOnly) {
   std::string json = reg.DumpJson();
   // Sorted keys: "a.first" precedes "b.second".
   EXPECT_LT(json.find("a.first"), json.find("b.second"));
-  EXPECT_NE(json.find("\"z.gauge\":-7"), std::string::npos);
+  // Gauges dump level + high-watermark (a negative-only gauge never
+  // raised the watermark above its initial 0).
+  EXPECT_NE(json.find("\"z.gauge\":{\"value\":-7,\"max\":0}"),
+            std::string::npos);
   EXPECT_NE(json.find("\"m.timer\""), std::string::npos);
   // All-integer output: no decimal points anywhere.
   EXPECT_EQ(json.find('.'), json.find("a.first") + 1);  // only inside names
   EXPECT_EQ(json.find("e+"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksHighWatermark) {
+  Gauge g;
+  g.Set(5);
+  g.Add(7);   // 12: new peak
+  g.Add(-9);  // 3
+  g.Set(4);
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(g.max(), 12);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
 }
 
 // Runs a small RPC workload on a fresh simulation with the given seed and
